@@ -1,0 +1,225 @@
+// Command napletctl manages naplets in a running naplet space from the
+// command line: it launches agents on itineraries written in the paper's
+// operator notation, queries their status, fetches their reports, and
+// casts control messages (callback / suspend / resume / terminate).
+//
+// Usage:
+//
+//	napletctl -home <addr> launch -codebase <name> -route "seq(a,b)" [-owner u] [-params p1;p2] [-wait]
+//	napletctl -home <addr> status  -id <naplet-id>
+//	napletctl -home <addr> results -id <naplet-id>
+//	napletctl -home <addr> control -id <naplet-id> -verb terminate
+//
+// The home address is the napletd that launched (or will launch) the
+// naplet.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/man"
+	"repro/internal/naplet"
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	home := flag.String("home", "127.0.0.1:7001", "home naplet server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	fabric := transport.NewTCPFabric()
+	node, err := fabric.Attach("127.0.0.1:0", func(string, wire.Frame) (wire.Frame, error) {
+		return wire.Frame{}, fmt.Errorf("napletctl serves no requests")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	switch cmd {
+	case "launch":
+		launch(node, *home, rest)
+	case "status":
+		simpleOp(node, *home, "status", rest)
+	case "results":
+		simpleOp(node, *home, "results", rest)
+	case "control":
+		control(node, *home, rest)
+	case "footprints":
+		footprints(node, *home)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|footprints} [flags]")
+	os.Exit(2)
+}
+
+// call performs one management exchange with the home server.
+func call(node transport.Node, home string, body server.ControlBody) server.ControlReplyBody {
+	f, err := wire.NewFrame(wire.KindControl, "", "", &body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	reply, err := node.Call(ctx, home, f)
+	if err != nil {
+		log.Fatalf("napletctl: %v", err)
+	}
+	var rb server.ControlReplyBody
+	if err := reply.Body(&rb); err != nil {
+		log.Fatal(err)
+	}
+	return rb
+}
+
+func launch(node transport.Node, home string, args []string) {
+	fs := flag.NewFlagSet("launch", flag.ExitOnError)
+	codebase := fs.String("codebase", "example.Greeter", "registered codebase name")
+	route := fs.String("route", "", `itinerary, e.g. "seq(host:port, host:port)"`)
+	owner := fs.String("owner", "czxu", "launching principal")
+	params := fs.String("params", "", "semicolon-separated agent parameters (NMNaplet MIB OIDs)")
+	wait := fs.Bool("wait", false, "poll until the naplet completes, then print its reports")
+	fs.Parse(args)
+	if *route == "" {
+		log.Fatal("napletctl launch: -route is required")
+	}
+
+	body := server.ControlBody{
+		Op:       "launch",
+		Owner:    *owner,
+		Codebase: *codebase,
+		Route:    *route,
+	}
+	if *params != "" {
+		body.Params = strings.Split(*params, ";")
+	}
+	rb := call(node, home, body)
+	if !rb.OK {
+		log.Fatalf("napletctl: launch failed: %s", rb.Err)
+	}
+	fmt.Println("launched:", rb.Status)
+	if !*wait {
+		return
+	}
+
+	nid, err := id.Parse(rb.Status)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		st := call(node, home, server.ControlBody{Op: "status", NapletID: nid})
+		if !st.OK {
+			log.Fatalf("napletctl: %s", st.Err)
+		}
+		fmt.Println("status:", st.Status)
+		if st.Status == "completed" || st.Status == "terminated" || st.Status == "trapped" {
+			if st.Err != "" {
+				fmt.Println("error:", st.Err)
+			}
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	res := call(node, home, server.ControlBody{Op: "results", NapletID: nid})
+	for i, r := range res.Results {
+		printReport(i+1, r)
+	}
+}
+
+// printReport renders a report: NMNaplet payloads decode into a per-device
+// table, anything else prints as text.
+func printReport(n int, body []byte) {
+	if rep, route, err := man.DecodeReport(body); err == nil && len(rep) > 0 {
+		fmt.Printf("report %d (route %s):\n", n, strings.Join(route, " -> "))
+		for _, dev := range rep.SortedDevices() {
+			for oid, val := range rep[dev] {
+				fmt.Printf("  %s %s = %s\n", dev, oid, val)
+			}
+		}
+		return
+	}
+	fmt.Printf("report %d: %s\n", n, string(body))
+}
+
+func simpleOp(node transport.Node, home, op string, args []string) {
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	idStr := fs.String("id", "", "naplet identifier")
+	fs.Parse(args)
+	nid, err := id.Parse(*idStr)
+	if err != nil {
+		log.Fatalf("napletctl %s: bad -id: %v", op, err)
+	}
+	rb := call(node, home, server.ControlBody{Op: op, NapletID: nid})
+	if !rb.OK {
+		log.Fatalf("napletctl: %s", rb.Err)
+	}
+	if op == "status" {
+		fmt.Println("status:", rb.Status)
+		if rb.Err != "" {
+			fmt.Println("error:", rb.Err)
+		}
+		return
+	}
+	for i, r := range rb.Results {
+		printReport(i+1, r)
+	}
+}
+
+// footprints prints the server's visit records.
+func footprints(node transport.Node, home string) {
+	rb := call(node, home, server.ControlBody{Op: "footprints"})
+	if !rb.OK {
+		log.Fatalf("napletctl: %s", rb.Err)
+	}
+	for _, fp := range rb.Footprints {
+		left := "still here"
+		if !fp.LeftAt.IsZero() {
+			left = fp.LeftAt.Format(time.RFC3339) + " -> " + fp.Dest
+			if fp.Dest == "" {
+				left = "ended " + fp.LeftAt.Format(time.RFC3339)
+			}
+		}
+		fmt.Printf("%s  codebase=%s  from=%s  arrived=%s  %s\n",
+			fp.NapletID, fp.Codebase, fp.Source, fp.ArrivedAt.Format(time.RFC3339), left)
+	}
+	if len(rb.Footprints) == 0 {
+		fmt.Println("no footprints")
+	}
+}
+
+func control(node transport.Node, home string, args []string) {
+	fs := flag.NewFlagSet("control", flag.ExitOnError)
+	idStr := fs.String("id", "", "naplet identifier")
+	verb := fs.String("verb", "callback", "callback | suspend | resume | terminate")
+	fs.Parse(args)
+	nid, err := id.Parse(*idStr)
+	if err != nil {
+		log.Fatalf("napletctl control: bad -id: %v", err)
+	}
+	rb := call(node, home, server.ControlBody{
+		Op:       "control",
+		NapletID: nid,
+		Verb:     naplet.ControlVerb(*verb),
+	})
+	if !rb.OK {
+		log.Fatalf("napletctl: %s", rb.Err)
+	}
+	fmt.Println("control delivered")
+}

@@ -1,0 +1,141 @@
+// Command napletd runs one naplet server over real TCP, forming a naplet
+// space with other napletd processes (and optionally a central directory).
+//
+// Each daemon registers the built-in demo codebases (example.Greeter for
+// quick tours, naplet.NMNaplet for network management) and hosts a
+// simulated managed device behind the NetManagement privileged service, so
+// napletctl can drive the paper's §6 application across real processes.
+//
+// A two-host session:
+//
+//	napletd -listen 127.0.0.1:7001 &
+//	napletd -listen 127.0.0.1:7002 &
+//	napletctl -home 127.0.0.1:7001 launch -codebase example.Greeter \
+//	    -route "seq(127.0.0.1:7002)" -wait
+//
+// Run one directory-hosting daemon with -directory-serve and point the
+// others at it with -directory to switch the space into directory mode.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/locator"
+	"repro/internal/man"
+	"repro/internal/naplet"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/snmp"
+	"repro/internal/transport"
+)
+
+// greeter is the demo tour agent compiled into every daemon.
+type greeter struct{}
+
+func (greeter) OnStart(ctx *naplet.Context) error {
+	var tour []string
+	ctx.State().Load("tour", &tour)
+	return ctx.State().SetPrivate("tour", append(tour, ctx.Server))
+}
+
+func (greeter) OnDestroy(ctx *naplet.Context) {
+	var tour []string
+	ctx.State().Load("tour", &tour)
+	rctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ctx.Listener.Report(rctx, []byte("toured: "+strings.Join(tour, " -> ")))
+}
+
+func buildRegistry() (*registry.Registry, error) {
+	reg := registry.New()
+	if err := reg.Register(&registry.Codebase{
+		Name: "example.Greeter",
+		New:  func() naplet.Behavior { return greeter{} },
+	}); err != nil {
+		return nil, err
+	}
+	if err := man.RegisterCodebase(reg, 0); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP address to serve on")
+	dirServe := flag.Bool("directory-serve", false, "also host the central naplet directory on this address +1000")
+	dirAddr := flag.String("directory", "", "central directory address (enables directory location mode)")
+	community := flag.String("community", "public", "SNMP community of the local simulated device")
+	slots := flag.Int("slots", 0, "concurrent naplet execution slots (0 = unlimited)")
+	flag.Parse()
+
+	reg, err := buildRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabric := transport.NewTCPFabric()
+
+	mode := locator.ModeForward
+	if *dirAddr != "" {
+		mode = locator.ModeDirectory
+	}
+	if *dirServe {
+		host, port, ok := strings.Cut(*listen, ":")
+		if !ok {
+			log.Fatalf("napletd: cannot derive directory port from %q", *listen)
+		}
+		var p int
+		fmt.Sscanf(port, "%d", &p)
+		daddr := fmt.Sprintf("%s:%d", host, p+1000)
+		if _, err := directory.NewService().Serve(fabric, daddr); err != nil {
+			log.Fatal(err)
+		}
+		*dirAddr = daddr
+		mode = locator.ModeDirectory
+		log.Printf("napletd: directory service on %s", daddr)
+	}
+
+	srv, err := server.New(server.Config{
+		Name:          *listen,
+		Fabric:        fabric,
+		Registry:      reg,
+		LocatorMode:   mode,
+		DirectoryAddr: *dirAddr,
+		Slots:         *slots,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host a simulated managed device behind the NetManagement service, so
+	// NMNaplets have something to manage (§6).
+	dev := snmp.NewDevice(snmp.DeviceConfig{
+		Name:      *listen,
+		Community: *community,
+		Seed:      time.Now().UnixNano(),
+		ExtraVars: 32,
+	})
+	if err := srv.Resources().RegisterPrivileged(man.ServiceName, man.NewNetManagementService(dev, *community)); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for range time.Tick(time.Second) {
+			dev.Tick(time.Second)
+		}
+	}()
+
+	log.Printf("napletd: serving naplet space on %s (location mode %s)", *listen, mode)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("napletd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,176 @@
+// Shopping reproduces the paper's §2.1 motivating scenario: "a shopping
+// agent that visits hosts to collect price information about a product
+// would keep the gathered data in a private access state. The gathered
+// information can also be stored in a protected state so that a naplet
+// server can update a returning naplet with new information."
+//
+// The agent tours vendor servers collecting quotes into *private* state
+// (vendors cannot read competitors' prices off the agent), publishes its
+// shopping query as *public* state (any server may read it), and keeps a
+// *protected* channel entry only its home server may update. After the
+// tour it returns home, picks the best quote, and reports.
+//
+// Run it with:
+//
+//	go run ./examples/shopping
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/itinerary"
+	"repro/internal/manager"
+	"repro/internal/naplet"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/state"
+)
+
+// shopper is the shopping agent.
+type shopper struct{}
+
+func (shopper) OnStart(ctx *naplet.Context) error {
+	if ctx.Server == ctx.Record.Home {
+		// Back home: choose the best quote.
+		return shopper{}.settle(ctx)
+	}
+	// Ask the vendor's quote service for the product named in our PUBLIC
+	// query state (vendors may legitimately read what we are shopping for).
+	product, err := ctx.State().Get("query")
+	if err != nil {
+		return err
+	}
+	quote, err := ctx.Services.CallOpen("quote", []string{product.(string)})
+	if err != nil {
+		return err
+	}
+	// Record the quote in PRIVATE state: the next vendor cannot see it.
+	quotes := map[string]string{}
+	ctx.State().Load("quotes", &quotes)
+	quotes[ctx.Server] = quote
+	return ctx.State().SetPrivate("quotes", quotes)
+}
+
+func (shopper) settle(ctx *naplet.Context) error {
+	quotes := map[string]string{}
+	if err := ctx.State().Load("quotes", &quotes); err != nil {
+		return err
+	}
+	bestVendor, bestPrice := "", 1<<31
+	vendors := make([]string, 0, len(quotes))
+	for v := range quotes {
+		vendors = append(vendors, v)
+	}
+	sort.Strings(vendors)
+	var lines []string
+	for _, v := range vendors {
+		p, err := strconv.Atoi(quotes[v])
+		if err != nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s: $%d", v, p))
+		if p < bestPrice {
+			bestVendor, bestPrice = v, p
+		}
+	}
+	report := fmt.Sprintf("quotes [%s]; best: %s at $%d",
+		strings.Join(lines, ", "), bestVendor, bestPrice)
+	rctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return ctx.Listener.Report(rctx, []byte(report))
+}
+
+func main() {
+	net := netsim.New(netsim.Config{DefaultLink: netsim.LAN})
+	reg := registry.New()
+	reg.MustRegister(&registry.Codebase{
+		Name: "example.Shopper",
+		New:  func() naplet.Behavior { return shopper{} },
+	})
+
+	// Home plus three vendor servers, each with its own price list.
+	prices := map[string]map[string]int{
+		"acme":    {"widget": 42, "gadget": 99},
+		"globex":  {"widget": 37, "gadget": 120},
+		"initech": {"widget": 45, "gadget": 80},
+	}
+	servers := map[string]*server.Server{}
+	for _, name := range []string{"home", "acme", "globex", "initech"} {
+		srv, err := server.New(server.Config{Name: name, Fabric: net, Registry: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		if list, ok := prices[name]; ok {
+			srv.Resources().RegisterOpen("quote", func(args []string) (string, error) {
+				if len(args) == 0 {
+					return "", fmt.Errorf("quote: no product")
+				}
+				p, ok := list[args[0]]
+				if !ok {
+					return "", fmt.Errorf("quote: no such product %q", args[0])
+				}
+				return strconv.Itoa(p), nil
+			})
+		}
+		servers[name] = srv
+	}
+
+	// Demonstrate the protection modes from the vendor's point of view.
+	report := make(chan string, 1)
+	nid, err := servers["home"].Launch(context.Background(), server.LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "example.Shopper",
+		Pattern:  itinerary.SeqVisits([]string{"acme", "globex", "initech", "home"}, ""),
+		InitState: func(s *state.State) error {
+			// Public: any visited server may read the query.
+			if err := s.SetPublic("query", "widget"); err != nil {
+				return err
+			}
+			// Private: quotes are the agent's business only.
+			if err := s.SetPrivate("quotes", map[string]string{}); err != nil {
+				return err
+			}
+			// Protected: only home may update this entry on return.
+			return s.SetProtected("homeNotes", "v1", "home")
+		},
+		Listener: func(r manager.Result) { report <- string(r.Body) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shopper launched:", nid)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := servers["home"].WaitDone(ctx, nid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(<-report)
+
+	// Show what a vendor server could and could not have seen.
+	demo := state.New()
+	demo.SetPublic("query", "widget")
+	demo.SetPrivate("quotes", map[string]string{"acme": "42"})
+	demo.SetProtected("homeNotes", "v1", "home")
+	vendorView := demo.ServerView("globex")
+	fmt.Println("\nvendor's view of the agent state:")
+	fmt.Println("  readable keys:", vendorView.Keys())
+	if _, err := vendorView.Get("quotes"); err != nil {
+		fmt.Println("  quotes:", err)
+	}
+	if _, err := vendorView.Get("homeNotes"); err != nil {
+		fmt.Println("  homeNotes:", err)
+	}
+	homeView := demo.ServerView("home")
+	if v, err := homeView.Get("homeNotes"); err == nil {
+		fmt.Printf("  (home's view of homeNotes: %v — protected entries are per-server)\n", v)
+	}
+}

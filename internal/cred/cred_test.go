@@ -1,0 +1,180 @@
+package cred
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/id"
+)
+
+var (
+	t0  = time.Date(2001, 5, 12, 17, 27, 20, 0, time.UTC)
+	nid = id.MustNew("czxu", "ece.eng.wayne.edu", t0)
+)
+
+func ring(t *testing.T) *KeyRing {
+	t.Helper()
+	k := NewKeyRing()
+	k.Register("czxu", []byte("secret-key-czxu"))
+	return k
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	k := ring(t)
+	c, err := k.Issue(nid, "naplet.NMNaplet", []string{"netadmin"}, t0, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(c, t0.Add(time.Hour)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !c.HasRole("netadmin") || c.HasRole("guest") {
+		t.Fatal("role membership wrong")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	k := ring(t)
+	c, _ := k.Issue(nid, "naplet.NMNaplet", []string{"netadmin"}, t0, time.Time{})
+
+	tampered := c
+	tampered.Codebase = "naplet.EvilNaplet"
+	if err := k.Verify(tampered, t0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("codebase tampering not detected: %v", err)
+	}
+
+	tampered = c
+	tampered.Roles = []string{"root"}
+	if err := k.Verify(tampered, t0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("role tampering not detected: %v", err)
+	}
+
+	tampered = c
+	other, _ := nid.Clone(1)
+	tampered.NapletID = other
+	if err := k.Verify(tampered, t0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("ID tampering not detected: %v", err)
+	}
+
+	tampered = c
+	tampered.Signature = append([]byte(nil), c.Signature...)
+	tampered.Signature[0] ^= 1
+	if err := k.Verify(tampered, t0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("signature bit flip not detected: %v", err)
+	}
+}
+
+func TestVerifyValidityWindow(t *testing.T) {
+	k := ring(t)
+	c, _ := k.Issue(nid, "cb", nil, t0, t0.Add(time.Hour))
+	if err := k.Verify(c, t0.Add(30*time.Minute)); err != nil {
+		t.Fatalf("inside window: %v", err)
+	}
+	if err := k.Verify(c, t0.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired not detected: %v", err)
+	}
+	if err := k.Verify(c, t0.Add(-time.Hour)); !errors.Is(err, ErrNotYetValid) {
+		t.Fatalf("not-yet-valid not detected: %v", err)
+	}
+}
+
+func TestVerifyUnknownOwner(t *testing.T) {
+	k := ring(t)
+	c, _ := k.Issue(nid, "cb", nil, t0, time.Time{})
+	k.Remove("czxu")
+	if err := k.Verify(c, t0); !errors.Is(err, ErrUnknownOwner) {
+		t.Fatalf("want ErrUnknownOwner, got %v", err)
+	}
+	if _, err := k.Issue(nid, "cb", nil, t0, time.Time{}); !errors.Is(err, ErrUnknownOwner) {
+		t.Fatalf("Issue without key: %v", err)
+	}
+}
+
+func TestVerifyWrongKey(t *testing.T) {
+	k := ring(t)
+	c, _ := k.Issue(nid, "cb", nil, t0, time.Time{})
+	k.Register("czxu", []byte("rotated"))
+	if err := k.Verify(c, t0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature after key rotation, got %v", err)
+	}
+}
+
+func TestReissueForClone(t *testing.T) {
+	k := ring(t)
+	parent, _ := k.Issue(nid, "naplet.NMNaplet", []string{"netadmin"}, t0, t0.Add(time.Hour))
+	cloneID, _ := nid.Clone(1)
+	child, err := k.Reissue(parent, cloneID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(child, t0); err != nil {
+		t.Fatalf("clone credential invalid: %v", err)
+	}
+	if child.Codebase != parent.Codebase {
+		t.Fatal("clone must inherit codebase")
+	}
+	if !child.HasRole("netadmin") {
+		t.Fatal("clone must inherit roles")
+	}
+	if !child.NapletID.Equal(cloneID) {
+		t.Fatal("clone credential must name the clone")
+	}
+}
+
+func TestRolesOrderIndependentSignature(t *testing.T) {
+	k := ring(t)
+	a, _ := k.Issue(nid, "cb", []string{"x", "y"}, t0, time.Time{})
+	b := a
+	b.Roles = []string{"y", "x"}
+	if err := k.Verify(b, t0); err != nil {
+		t.Fatalf("role order must not affect signature: %v", err)
+	}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	k := ring(t)
+	a, _ := k.Issue(nid, "cb", nil, t0, time.Time{})
+	b, _ := k.Issue(nid, "cb", nil, t0, time.Time{})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical credentials must share fingerprint")
+	}
+	c := a
+	c.Codebase = "other"
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("fingerprint must change with content")
+	}
+	if len(a.Fingerprint()) != 16 {
+		t.Fatalf("fingerprint length = %d", len(a.Fingerprint()))
+	}
+}
+
+func TestPropIssueVerifyAlwaysAuthentic(t *testing.T) {
+	k := ring(t)
+	f := func(codebase string, role string) bool {
+		c, err := k.Issue(nid, codebase, []string{role}, t0, time.Time{})
+		if err != nil {
+			return false
+		}
+		return k.Verify(c, t0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentKeyRing(t *testing.T) {
+	k := NewKeyRing()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			k.Register("czxu", []byte{byte(i)})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		k.Issue(nid, "cb", nil, t0, time.Time{}) // must not race
+	}
+	<-done
+}

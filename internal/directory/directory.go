@@ -1,0 +1,212 @@
+// Package directory implements the NapletDirectory of §4.1: the optional
+// centralized service that tracks the location of naplets.
+//
+// Navigators register ARRIVAL and DEPARTURE events. The registration
+// protocol preserves the paper's invariant: a naplet's execution at a
+// server is postponed until the arrival registration is acknowledged, so
+// the directory always holds current information — if the latest entry for
+// a naplet is a departure it is in transit; if an arrival, it is running at
+// (or about to leave) the registered server.
+package directory
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Event is the registered life-cycle event kind.
+type Event int
+
+// Directory events.
+const (
+	// Arrival: the naplet landed at Entry.Server and is (or was) running
+	// there.
+	Arrival Event = iota
+	// Departure: the naplet was dispatched from Entry.Server and is in
+	// transit.
+	Departure
+)
+
+// String returns the event name.
+func (e Event) String() string {
+	if e == Arrival {
+		return "arrival"
+	}
+	return "departure"
+}
+
+// Entry is the latest registered event for one naplet.
+type Entry struct {
+	NapletID id.NapletID
+	Event    Event
+	Server   string
+	At       time.Time
+}
+
+// ErrNotFound is reported for naplets with no registration.
+var ErrNotFound = errors.New("directory: naplet not registered")
+
+// RegisterBody is the wire body of a KindDirRegister frame.
+type RegisterBody struct {
+	NapletID id.NapletID
+	Event    Event
+	Server   string
+	At       time.Time
+}
+
+// LookupBody is the wire body of a KindDirLookup frame.
+type LookupBody struct {
+	NapletID id.NapletID
+}
+
+// ReplyBody is the wire body of a KindDirReply frame.
+type ReplyBody struct {
+	Found bool
+	Entry Entry
+}
+
+// Stats counts directory activity.
+type Stats struct {
+	Registrations int64
+	Lookups       int64
+	Misses        int64
+}
+
+// Service is the centralized directory server. Attach it to a fabric with
+// Serve; it then answers register and lookup frames.
+type Service struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	stats   Stats
+}
+
+// NewService returns an empty directory.
+func NewService() *Service {
+	return &Service{entries: make(map[string]Entry)}
+}
+
+// Serve attaches the directory to the fabric under addr and returns its
+// node.
+func (s *Service) Serve(fabric transport.Fabric, addr string) (transport.Node, error) {
+	return fabric.Attach(addr, s.Handle)
+}
+
+// Handle is the directory's frame handler; exported so a composite server
+// can host a directory alongside other components.
+func (s *Service) Handle(from string, f wire.Frame) (wire.Frame, error) {
+	switch f.Kind {
+	case wire.KindDirRegister:
+		var body RegisterBody
+		if err := f.Body(&body); err != nil {
+			return wire.Frame{}, err
+		}
+		s.register(body)
+		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: true})
+	case wire.KindDirLookup:
+		var body LookupBody
+		if err := f.Body(&body); err != nil {
+			return wire.Frame{}, err
+		}
+		entry, ok := s.lookup(body.NapletID)
+		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: ok, Entry: entry})
+	default:
+		return wire.Frame{}, fmt.Errorf("directory: unexpected frame kind %q", f.Kind)
+	}
+}
+
+func (s *Service) register(body RegisterBody) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Registrations++
+	key := body.NapletID.Key()
+	cur, ok := s.entries[key]
+	// Events can race over the network: never let an older event overwrite
+	// a newer one.
+	if ok && body.At.Before(cur.At) {
+		return
+	}
+	s.entries[key] = Entry{NapletID: body.NapletID, Event: body.Event, Server: body.Server, At: body.At}
+}
+
+func (s *Service) lookup(nid id.NapletID) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lookups++
+	e, ok := s.entries[nid.Key()]
+	if !ok {
+		s.stats.Misses++
+	}
+	return e, ok
+}
+
+// Snapshot returns a copy of all registered entries, for management tools.
+func (s *Service) Snapshot() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Stats returns activity counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Client accesses a directory service over the fabric.
+type Client struct {
+	node transport.Node
+	addr string
+}
+
+// NewClient builds a directory client that calls the directory at addr
+// through node.
+func NewClient(node transport.Node, addr string) *Client {
+	return &Client{node: node, addr: addr}
+}
+
+// Addr returns the directory's address.
+func (c *Client) Addr() string { return c.addr }
+
+// Register reports a life-cycle event to the directory.
+func (c *Client) Register(ctx context.Context, nid id.NapletID, event Event, server string, at time.Time) error {
+	f, err := wire.NewFrame(wire.KindDirRegister, "", "", &RegisterBody{
+		NapletID: nid, Event: event, Server: server, At: at,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = c.node.Call(ctx, c.addr, f)
+	return err
+}
+
+// Lookup returns the latest registered entry for a naplet.
+func (c *Client) Lookup(ctx context.Context, nid id.NapletID) (Entry, error) {
+	f, err := wire.NewFrame(wire.KindDirLookup, "", "", &LookupBody{NapletID: nid})
+	if err != nil {
+		return Entry{}, err
+	}
+	reply, err := c.node.Call(ctx, c.addr, f)
+	if err != nil {
+		return Entry{}, err
+	}
+	var body ReplyBody
+	if err := reply.Body(&body); err != nil {
+		return Entry{}, err
+	}
+	if !body.Found {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, nid)
+	}
+	return body.Entry, nil
+}

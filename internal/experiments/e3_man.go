@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cnmp"
+	"repro/internal/man"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// Strategy names one management approach in the E3 comparison.
+type Strategy string
+
+// E3 strategies.
+const (
+	// StratCNMPMicro is the paper's characterization of conventional SNMP
+	// management: one round trip per MIB variable per device, sequential.
+	StratCNMPMicro Strategy = "cnmp-micro"
+	// StratCNMPBatch is the optimized baseline: one round trip per device.
+	StratCNMPBatch Strategy = "cnmp-batch"
+	// StratMANSeq is one naplet touring all devices, reporting once.
+	StratMANSeq Strategy = "man-seq"
+	// StratMANBcast is the paper's §6.2 broadcast itinerary: one clone
+	// per device, individual reports.
+	StratMANBcast Strategy = "man-bcast"
+)
+
+// E3Cell is one measured cell of the MAN-vs-CNMP comparison.
+type E3Cell struct {
+	Strategy Strategy
+	Devices  int
+	Vars     int
+
+	// StationBytes is traffic on the management station's links
+	// (sent+received) — the hot spot the paper's §6 criticism targets.
+	StationBytes int64
+	// TotalBytes is traffic across the whole network.
+	TotalBytes int64
+	// Frames is the total frame count.
+	Frames int64
+	// ModeledLatency is the analytic completion latency of the strategy's
+	// sequential execution: the sum of all modeled transit delays (exact
+	// for strictly sequential strategies).
+	ModeledLatency time.Duration
+	// Wall is the real elapsed time (meaningful when the fabric sleeps).
+	Wall time.Duration
+}
+
+// RunE3Cell measures one strategy at one sweep point. bundleSize models the
+// NMNaplet code; timeScale > 0 makes the fabric sleep (for wall-clock
+// parallel measurements), 0 keeps it analytic.
+func RunE3Cell(strategy Strategy, devices, vars int, link netsim.Link, bundleSize int, timeScale float64, seed int64) (E3Cell, error) {
+	cell := E3Cell{Strategy: strategy, Devices: devices, Vars: vars}
+	tb, err := man.NewTestbed(man.TestbedConfig{
+		Devices:    devices,
+		ExtraVars:  vars, // ensure enough synthetic scalars
+		Link:       link,
+		TimeScale:  timeScale,
+		Seed:       seed,
+		BundleSize: bundleSize,
+	})
+	if err != nil {
+		return cell, err
+	}
+	defer tb.Close()
+	oids := tb.QueryOIDs(vars)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	tb.Net.ResetStats()
+	start := time.Now()
+	station := man.StationHost
+	switch strategy {
+	case StratCNMPMicro:
+		station = man.CNMPHost
+		_, _, err = tb.CNMP.Collect(ctx, tb.ResponderNames, oids, cnmp.Options{})
+	case StratCNMPBatch:
+		station = man.CNMPHost
+		_, _, err = tb.CNMP.Collect(ctx, tb.ResponderNames, oids, cnmp.Options{Batch: true})
+	case StratMANSeq:
+		_, _, err = tb.Station.CollectSequential(ctx, tb.DeviceNames, oids)
+	case StratMANBcast:
+		_, _, err = tb.Station.CollectBroadcast(ctx, tb.DeviceNames, oids)
+	default:
+		err = fmt.Errorf("e3: unknown strategy %q", strategy)
+	}
+	if err != nil {
+		return cell, err
+	}
+	cell.Wall = time.Since(start)
+	st := tb.Net.HostStats(station)
+	cell.StationBytes = st.BytesSent + st.BytesRecv
+	total := tb.Net.TotalStats()
+	cell.TotalBytes = total.BytesSent
+	cell.Frames = total.FramesSent
+	cell.ModeledLatency = total.ModeledDelay
+	return cell, nil
+}
+
+// E3BundleSize is the NMNaplet code bundle modeled in E3 (8 KiB: a small
+// agent class file set).
+const E3BundleSize = 8 << 10
+
+// E3ManVsCnmp reproduces the §6 comparison: traffic and latency of the
+// four strategies over device-count and variable-count sweeps on LAN and
+// WAN links.
+func E3ManVsCnmp(w io.Writer, opts Options) error {
+	deviceSweep := []int{4, 16, 64}
+	varSweep := []int{1, 4, 16, 64}
+	if opts.Quick {
+		deviceSweep = []int{4, 16}
+		varSweep = []int{1, 16}
+	}
+	strategies := []Strategy{StratCNMPMicro, StratCNMPBatch, StratMANSeq, StratMANBcast}
+
+	// Table A: traffic (link-independent; analytic fabric).
+	fmt.Fprintln(w, "Table A — network traffic (station link bytes / total bytes)")
+	table := stats.NewTable("devices", "vars", "strategy", "station", "total", "frames")
+	for _, n := range deviceSweep {
+		for _, v := range varSweep {
+			for _, s := range strategies {
+				cell, err := RunE3Cell(s, n, v, netsim.LAN, E3BundleSize, 0, opts.Seed)
+				if err != nil {
+					return fmt.Errorf("e3 %s n=%d v=%d: %w", s, n, v, err)
+				}
+				table.AddRow(n, v, string(s), stats.Bytes(cell.StationBytes),
+					stats.Bytes(cell.TotalBytes), cell.Frames)
+			}
+		}
+	}
+	table.WriteTo(w)
+
+	// Table B: modeled completion latency of the sequential strategies,
+	// analytic (sum of transit delays is exact for sequential execution).
+	fmt.Fprintln(w, "\nTable B — modeled completion latency (sequential strategies)")
+	lat := stats.NewTable("devices", "vars", "link", "cnmp-micro", "man-seq", "winner")
+	links := []struct {
+		name string
+		link netsim.Link
+	}{{"LAN", netsim.LAN}, {"WAN", netsim.WAN}}
+	for _, l := range links {
+		for _, n := range deviceSweep {
+			for _, v := range varSweep {
+				c, err := RunE3Cell(StratCNMPMicro, n, v, l.link, E3BundleSize, 0, opts.Seed)
+				if err != nil {
+					return err
+				}
+				m, err := RunE3Cell(StratMANSeq, n, v, l.link, E3BundleSize, 0, opts.Seed)
+				if err != nil {
+					return err
+				}
+				winner := "man-seq"
+				if c.ModeledLatency < m.ModeledLatency {
+					winner = "cnmp-micro"
+				}
+				lat.AddRow(n, v, l.name, c.ModeledLatency.Round(time.Microsecond),
+					m.ModeledLatency.Round(time.Microsecond), winner)
+			}
+		}
+	}
+	lat.WriteTo(w)
+
+	// Table C: wall-clock latency of the parallel strategies with the
+	// fabric actually sleeping WAN delays (time scale 10).
+	fmt.Fprintln(w, "\nTable C — wall-clock latency, parallel strategies (WAN/10)")
+	par := stats.NewTable("devices", "vars", "strategy", "wall")
+	n, v := 8, 8
+	if opts.Quick {
+		n, v = 4, 4
+	}
+	for _, s := range []Strategy{StratCNMPMicro, StratMANSeq, StratMANBcast} {
+		cell, err := RunE3Cell(s, n, v, netsim.WAN, E3BundleSize, 10, opts.Seed)
+		if err != nil {
+			return err
+		}
+		par.AddRow(n, v, string(s), cell.Wall.Round(time.Millisecond))
+	}
+	par.WriteTo(w)
+
+	fmt.Fprintln(w, "\nExpected shapes (§6): CNMP station traffic grows with devices x vars;")
+	fmt.Fprintln(w, "MAN station traffic stays near launch+report. On WAN, man-seq overcomes")
+	fmt.Fprintln(w, "per-variable round-trip latency; at vars=1 the agent's code transfer")
+	fmt.Fprintln(w, "makes CNMP the cheaper choice (the crossover).")
+	return nil
+}

@@ -1,0 +1,380 @@
+// Package id implements the hierarchical naplet identifier described in
+// §2.1 and Figure 1 of the Naplet paper.
+//
+// A naplet identifier records who created the naplet, when, and where, plus
+// the clone heritage of the naplet. The textual form is
+//
+//	owner@host:timestamp:heritage
+//
+// for example
+//
+//	czxu@ece.eng.wayne.edu:010512172720:2.1
+//
+// which denotes the first clone (suffix .1) of the naplet numbered 2 in its
+// generation, created by user czxu on host ece.eng.wayne.edu at 17:27:20 on
+// May 12, 2001. The heritage is a dot-separated sequence of non-negative
+// integers; by convention 0 names the originator within a generation, so a
+// clone of X with heritage H receives heritage H.k for the next unused k ≥ 1,
+// and X itself is retroactively understood as H.0 if one more generation is
+// needed. Identifiers are immutable once created.
+package id
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TimeLayout is the timestamp layout used in the textual form of a NapletID.
+// It follows the paper's example "010512172720": YYMMDDhhmmss.
+const TimeLayout = "060102150405"
+
+// Heritage encodes the clone lineage of a naplet as a sequence of
+// non-negative integers (Figure 1). The empty heritage belongs to an
+// original, never-cloned naplet. Heritage values are treated as immutable;
+// operations return fresh slices.
+type Heritage []int
+
+// ParseHeritage parses a dot-separated heritage string such as "2.1".
+// The empty string parses to the empty heritage.
+func ParseHeritage(s string) (Heritage, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	h := make(Heritage, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || (len(p) > 1 && p[0] == '0') {
+			return nil, fmt.Errorf("id: invalid heritage component %q in %q", p, s)
+		}
+		h[i] = n
+	}
+	return h, nil
+}
+
+// String renders the heritage in its dot-separated textual form.
+func (h Heritage) String() string {
+	if len(h) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range h {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
+}
+
+// Depth reports the number of generations recorded in the heritage. An
+// original naplet has depth 0.
+func (h Heritage) Depth() int { return len(h) }
+
+// Child returns the heritage of the k-th clone descended from h.
+func (h Heritage) Child(k int) Heritage {
+	c := make(Heritage, len(h)+1)
+	copy(c, h)
+	c[len(h)] = k
+	return c
+}
+
+// Parent returns the heritage one generation up, and false if h is already
+// the root (empty) heritage.
+func (h Heritage) Parent() (Heritage, bool) {
+	if len(h) == 0 {
+		return nil, false
+	}
+	p := make(Heritage, len(h)-1)
+	copy(p, h[:len(h)-1])
+	return p, true
+}
+
+// IsAncestorOf reports whether h is a proper ancestor of other in the clone
+// tree: h is a strict prefix of other.
+func (h Heritage) IsAncestorOf(other Heritage) bool {
+	if len(h) >= len(other) {
+		return false
+	}
+	for i, n := range h {
+		if other[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two heritages denote the same lineage position.
+func (h Heritage) Equal(other Heritage) bool {
+	if len(h) != len(other) {
+		return false
+	}
+	for i, n := range h {
+		if other[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders heritages lexicographically, with shorter prefixes first.
+// It returns -1, 0, or +1.
+func (h Heritage) Compare(other Heritage) int {
+	for i := 0; i < len(h) && i < len(other); i++ {
+		switch {
+		case h[i] < other[i]:
+			return -1
+		case h[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(h) < len(other):
+		return -1
+	case len(h) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// NapletID is the system-wide unique, immutable identifier of a naplet
+// (§2.1). It is a value type; all accessors return copies so the identifier
+// cannot be mutated after creation.
+type NapletID struct {
+	owner    string
+	host     string
+	created  time.Time
+	heritage Heritage
+}
+
+// ErrMalformed is returned by Parse for strings that do not follow the
+// owner@host:timestamp[:heritage] grammar.
+var ErrMalformed = errors.New("id: malformed naplet identifier")
+
+// New creates the identifier of an original (never cloned) naplet created by
+// owner on host at the given time. The time is truncated to second precision
+// to match the textual form.
+func New(owner, host string, created time.Time) (NapletID, error) {
+	if owner == "" || strings.ContainsAny(owner, "@:") {
+		return NapletID{}, fmt.Errorf("%w: bad owner %q", ErrMalformed, owner)
+	}
+	if host == "" || strings.ContainsAny(host, "@:") {
+		return NapletID{}, fmt.Errorf("%w: bad host %q", ErrMalformed, host)
+	}
+	return NapletID{owner: owner, host: host, created: created.UTC().Truncate(time.Second)}, nil
+}
+
+// MustNew is like New but panics on error. It is intended for tests and for
+// identifiers built from compile-time constants.
+func MustNew(owner, host string, created time.Time) NapletID {
+	nid, err := New(owner, host, created)
+	if err != nil {
+		panic(err)
+	}
+	return nid
+}
+
+// Parse parses the textual form owner@host:timestamp[:heritage].
+func Parse(s string) (NapletID, error) {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 {
+		return NapletID{}, fmt.Errorf("%w: %q", ErrMalformed, s)
+	}
+	owner := s[:at]
+	rest := s[at+1:]
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return NapletID{}, fmt.Errorf("%w: %q", ErrMalformed, s)
+	}
+	host := parts[0]
+	if host == "" {
+		return NapletID{}, fmt.Errorf("%w: empty host in %q", ErrMalformed, s)
+	}
+	created, err := time.ParseInLocation(TimeLayout, parts[1], time.UTC)
+	if err != nil {
+		return NapletID{}, fmt.Errorf("%w: bad timestamp in %q: %v", ErrMalformed, s, err)
+	}
+	var h Heritage
+	if len(parts) == 3 {
+		h, err = ParseHeritage(parts[2])
+		if err != nil {
+			return NapletID{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	nid, err := New(owner, host, created)
+	if err != nil {
+		return NapletID{}, err
+	}
+	nid.heritage = h
+	return nid, nil
+}
+
+// Owner returns the user name of the naplet creator.
+func (n NapletID) Owner() string { return n.owner }
+
+// Host returns the home host on which the naplet was created. The home
+// server of a naplet is derivable from its identifier (§4.1).
+func (n NapletID) Host() string { return n.host }
+
+// Created returns the creation time (UTC, second precision).
+func (n NapletID) Created() time.Time { return n.created }
+
+// Heritage returns a copy of the clone heritage sequence.
+func (n NapletID) Heritage() Heritage {
+	h := make(Heritage, len(n.heritage))
+	copy(h, n.heritage)
+	return h
+}
+
+// IsZero reports whether the identifier is the zero value.
+func (n NapletID) IsZero() bool {
+	return n.owner == "" && n.host == "" && n.created.IsZero() && len(n.heritage) == 0
+}
+
+// IsOriginal reports whether the naplet has never been cloned from another
+// naplet (empty heritage, or an all-zero heritage which names the originator
+// in every generation).
+func (n NapletID) IsOriginal() bool {
+	for _, g := range n.heritage {
+		if g != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone derives the identifier of the k-th clone of this naplet, k ≥ 1.
+// Cloning is recursive: a clone can itself be cloned, extending the heritage
+// by one generation each time (Figure 1).
+func (n NapletID) Clone(k int) (NapletID, error) {
+	if k < 1 {
+		return NapletID{}, fmt.Errorf("id: clone index must be ≥ 1, got %d", k)
+	}
+	c := n
+	c.heritage = n.heritage.Child(k)
+	return c, nil
+}
+
+// Originator returns the identifier that names the originator within this
+// naplet's generation: the same lineage with the final heritage component
+// replaced by 0. If the naplet is an original (empty heritage) it returns
+// itself.
+func (n NapletID) Originator() NapletID {
+	if len(n.heritage) == 0 {
+		return n
+	}
+	o := n
+	h := n.Heritage()
+	h[len(h)-1] = 0
+	o.heritage = h
+	return o
+}
+
+// Root returns the identifier of the root of the clone tree: the original
+// naplet with empty heritage.
+func (n NapletID) Root() NapletID {
+	r := n
+	r.heritage = nil
+	return r
+}
+
+// SameLineage reports whether two identifiers descend from the same original
+// naplet (same owner, host, creation time).
+func (n NapletID) SameLineage(other NapletID) bool {
+	return n.owner == other.owner && n.host == other.host && n.created.Equal(other.created)
+}
+
+// Equal reports whether two identifiers name the same naplet.
+func (n NapletID) Equal(other NapletID) bool {
+	return n.SameLineage(other) && n.heritage.Equal(other.heritage)
+}
+
+// String renders the identifier in its canonical textual form.
+func (n NapletID) String() string {
+	var b strings.Builder
+	b.WriteString(n.owner)
+	b.WriteByte('@')
+	b.WriteString(n.host)
+	b.WriteByte(':')
+	b.WriteString(n.created.Format(TimeLayout))
+	if len(n.heritage) > 0 {
+		b.WriteByte(':')
+		b.WriteString(n.heritage.String())
+	}
+	return b.String()
+}
+
+// Key returns a canonical map key for the identifier. It is the same as
+// String; the method exists to make intent explicit at call sites that use
+// identifiers as map keys.
+func (n NapletID) Key() string { return n.String() }
+
+// MarshalText implements encoding.TextMarshaler, so identifiers serialize
+// with encoding/gob, encoding/json, etc. in their canonical textual form.
+func (n NapletID) MarshalText() ([]byte, error) { return []byte(n.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (n *NapletID) UnmarshalText(text []byte) error {
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*n = parsed
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder; identifiers travel inside naplet
+// records and wire frames.
+func (n NapletID) GobEncode() ([]byte, error) {
+	if n.IsZero() {
+		return nil, nil
+	}
+	return n.MarshalText()
+}
+
+// GobDecode implements gob.GobDecoder.
+func (n *NapletID) GobDecode(data []byte) error {
+	if len(data) == 0 {
+		*n = NapletID{}
+		return nil
+	}
+	return n.UnmarshalText(data)
+}
+
+// Generator mints fresh naplet identifiers for one (owner, host) principal.
+// Identifiers created within the same second are disambiguated by advancing
+// the timestamp, preserving system-wide uniqueness without random state.
+// A Generator is not safe for concurrent use; wrap it with a mutex or use
+// one per goroutine.
+type Generator struct {
+	owner string
+	host  string
+	now   func() time.Time
+	last  time.Time
+}
+
+// NewGenerator returns a Generator for the given principal. If now is nil,
+// time.Now is used.
+func NewGenerator(owner, host string, now func() time.Time) (*Generator, error) {
+	if _, err := New(owner, host, time.Unix(0, 0)); err != nil {
+		return nil, err
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Generator{owner: owner, host: host, now: now}, nil
+}
+
+// Next returns a fresh, unique identifier.
+func (g *Generator) Next() NapletID {
+	t := g.now().UTC().Truncate(time.Second)
+	if !t.After(g.last) {
+		t = g.last.Add(time.Second)
+	}
+	g.last = t
+	nid, _ := New(g.owner, g.host, t)
+	return nid
+}

@@ -1,0 +1,292 @@
+// Package locator implements the Locator of §4.1: the naplet tracing and
+// location service behind location-independent communication.
+//
+// The naplet space runs in one of two modes: with a naplet directory (a
+// centralized service, or the distributed form where each naplet's home
+// manager tracks it) or without one (messages chase naplets through the
+// per-server visit traces). The Locator resolves NapletID-based addresses
+// accordingly and caches recently inquired locations "so as to reduce the
+// response time of subsequent naplet location requests".
+package locator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/id"
+	"repro/internal/manager"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Mode selects the location strategy.
+type Mode int
+
+// Location modes.
+const (
+	// ModeDirectory consults the centralized NapletDirectory.
+	ModeDirectory Mode = iota
+	// ModeHome consults the naplet's home manager (distributed directory).
+	ModeHome
+	// ModeForward performs no lookup: the caller starts from its best hint
+	// (address book entry) and messages chase the naplet through visit
+	// traces.
+	ModeForward
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDirectory:
+		return "directory"
+	case ModeHome:
+		return "home"
+	case ModeForward:
+		return "forward"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// QueryBody is the wire body of a KindLocatorQuery frame (home mode).
+type QueryBody struct {
+	NapletID id.NapletID
+}
+
+// ReplyBody is the wire body of a KindLocatorReply frame.
+type ReplyBody struct {
+	Found  bool
+	Server string
+}
+
+// Errors reported by the locator.
+var (
+	ErrNotFound = errors.New("locator: naplet location unknown")
+	ErrNoHint   = errors.New("locator: no location hint in forward mode")
+)
+
+// Stats counts locator activity.
+type Stats struct {
+	Lookups    int64
+	CacheHits  int64
+	Directory  int64 // directory round trips
+	HomeQuery  int64 // home-manager round trips
+	Failures   int64
+	CacheEvict int64
+}
+
+// Config parameterizes a Locator.
+type Config struct {
+	// Mode selects the location strategy.
+	Mode Mode
+	// DirectoryAddr is the directory service address (ModeDirectory).
+	DirectoryAddr string
+	// CacheTTL bounds the age of cached locations; 0 disables caching.
+	CacheTTL time.Duration
+}
+
+type cached struct {
+	server string
+	at     time.Time
+}
+
+// Locator resolves naplet identifiers to server names. It is safe for
+// concurrent use.
+type Locator struct {
+	cfg   Config
+	node  transport.Node
+	mgr   *manager.Manager
+	clock func() time.Time
+
+	mu    sync.Mutex
+	cache map[string]cached
+	stats Stats
+}
+
+// New builds a locator for a server. node is the server's fabric node
+// (used for directory and home queries); mgr is the local manager (used to
+// answer home queries and to shortcut local naplets); nil clock means
+// time.Now.
+func New(cfg Config, node transport.Node, mgr *manager.Manager, clock func() time.Time) *Locator {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Locator{
+		cfg:   cfg,
+		node:  node,
+		mgr:   mgr,
+		clock: clock,
+		cache: make(map[string]cached),
+	}
+}
+
+// Mode returns the configured location mode.
+func (l *Locator) Mode() Mode { return l.cfg.Mode }
+
+// Locate resolves the naplet's current (best-known) server. hint is the
+// caller's address-book entry for the naplet and may be empty. The answer
+// may be stale by the time it is used; the messenger's forwarding handles
+// that (§4.2).
+func (l *Locator) Locate(ctx context.Context, nid id.NapletID, hint string) (string, error) {
+	l.mu.Lock()
+	l.stats.Lookups++
+	if l.cfg.CacheTTL > 0 {
+		if c, ok := l.cache[nid.Key()]; ok {
+			if l.clock().Sub(c.at) <= l.cfg.CacheTTL {
+				l.stats.CacheHits++
+				l.mu.Unlock()
+				return c.server, nil
+			}
+			delete(l.cache, nid.Key())
+			l.stats.CacheEvict++
+		}
+	}
+	l.mu.Unlock()
+
+	// A naplet present at this very server needs no lookup.
+	if l.mgr != nil {
+		if tr := l.mgr.TraceNaplet(nid); tr.Present {
+			l.remember(nid, l.mgr.Server())
+			return l.mgr.Server(), nil
+		}
+	}
+
+	switch l.cfg.Mode {
+	case ModeDirectory:
+		server, err := l.locateViaDirectory(ctx, nid)
+		if err != nil {
+			l.fail()
+			return l.fallback(hint, err)
+		}
+		l.remember(nid, server)
+		return server, nil
+	case ModeHome:
+		server, err := l.locateViaHome(ctx, nid)
+		if err != nil {
+			l.fail()
+			return l.fallback(hint, err)
+		}
+		l.remember(nid, server)
+		return server, nil
+	default: // ModeForward
+		if hint == "" {
+			return "", ErrNoHint
+		}
+		return hint, nil
+	}
+}
+
+// fallback degrades to the caller's hint when a lookup fails.
+func (l *Locator) fallback(hint string, err error) (string, error) {
+	if hint != "" {
+		return hint, nil
+	}
+	return "", err
+}
+
+func (l *Locator) fail() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Failures++
+}
+
+// remember caches a resolved location.
+func (l *Locator) remember(nid id.NapletID, server string) {
+	if l.cfg.CacheTTL <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cache[nid.Key()] = cached{server: server, at: l.clock()}
+}
+
+// Invalidate drops a cached location, e.g. after a delivery failure or a
+// migration notice.
+func (l *Locator) Invalidate(nid id.NapletID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.cache[nid.Key()]; ok {
+		delete(l.cache, nid.Key())
+		l.stats.CacheEvict++
+	}
+}
+
+// Refresh updates the cache with a location learned out of band (e.g. from
+// a delivery confirmation); this is the paper's "buffered naplet location
+// information can be updated on migration".
+func (l *Locator) Refresh(nid id.NapletID, server string) {
+	l.remember(nid, server)
+}
+
+func (l *Locator) locateViaDirectory(ctx context.Context, nid id.NapletID) (string, error) {
+	l.mu.Lock()
+	l.stats.Directory++
+	l.mu.Unlock()
+	client := directory.NewClient(l.node, l.cfg.DirectoryAddr)
+	entry, err := client.Lookup(ctx, nid)
+	if err != nil {
+		return "", err
+	}
+	return entry.Server, nil
+}
+
+func (l *Locator) locateViaHome(ctx context.Context, nid id.NapletID) (string, error) {
+	home := nid.Host()
+	// A naplet whose home is this server resolves locally.
+	if l.mgr != nil && home == l.mgr.Server() {
+		if server, ok := l.mgr.HomeLocate(nid); ok {
+			return server, nil
+		}
+		return "", fmt.Errorf("%w: %s (home has no record)", ErrNotFound, nid)
+	}
+	l.mu.Lock()
+	l.stats.HomeQuery++
+	l.mu.Unlock()
+	f, err := wire.NewFrame(wire.KindLocatorQuery, "", "", &QueryBody{NapletID: nid})
+	if err != nil {
+		return "", err
+	}
+	reply, err := l.node.Call(ctx, home, f)
+	if err != nil {
+		return "", err
+	}
+	var body ReplyBody
+	if err := reply.Body(&body); err != nil {
+		return "", err
+	}
+	if !body.Found {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, nid)
+	}
+	return body.Server, nil
+}
+
+// HandleQuery answers a home-directory location query against the local
+// manager; the server routes KindLocatorQuery frames here.
+func (l *Locator) HandleQuery(from string, f wire.Frame) (wire.Frame, error) {
+	var body QueryBody
+	if err := f.Body(&body); err != nil {
+		return wire.Frame{}, err
+	}
+	reply := ReplyBody{}
+	if l.mgr != nil {
+		if server, ok := l.mgr.HomeLocate(body.NapletID); ok {
+			reply.Found = true
+			reply.Server = server
+		} else if tr := l.mgr.TraceNaplet(body.NapletID); tr.Present {
+			reply.Found = true
+			reply.Server = l.mgr.Server()
+		}
+	}
+	return wire.NewFrame(wire.KindLocatorReply, f.To, f.From, &reply)
+}
+
+// Stats returns activity counters.
+func (l *Locator) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

@@ -1,0 +1,283 @@
+package man
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cnmp"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/snmp"
+	"repro/internal/state"
+)
+
+func testbed(t *testing.T, devices, extraVars int) *Testbed {
+	t.Helper()
+	tb, err := NewTestbed(TestbedConfig{
+		Devices:    devices,
+		ExtraVars:  extraVars,
+		Link:       netsim.LAN,
+		Seed:       42,
+		BundleSize: 8 << 10, // a small agent class file set
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+func TestRetrieve(t *testing.T) {
+	dev := snmp.NewDevice(snmp.DeviceConfig{Name: "r1"})
+	got := retrieve(dev.Agent, "public", snmp.OIDSysName.String())
+	if got != snmp.OIDSysName.String()+"=r1" {
+		t.Fatalf("retrieve = %q", got)
+	}
+	multi := retrieve(dev.Agent, "public", snmp.OIDSysName.String()+";"+snmp.OIDIfNumber.String())
+	if !strings.Contains(multi, "=r1") || !strings.Contains(multi, "=4") {
+		t.Fatalf("multi = %q", multi)
+	}
+	bad := retrieve(dev.Agent, "public", "9.9.9.9")
+	if !strings.Contains(bad, "error") {
+		t.Fatalf("bad oid = %q", bad)
+	}
+	walk := retrieve(dev.Agent, "public", "walk "+snmp.OIDSystem.String())
+	if strings.Count(walk, "=") < 4 {
+		t.Fatalf("walk = %q", walk)
+	}
+	if got := retrieve(dev.Agent, "public", "walk not-an-oid"); !strings.Contains(got, "error") {
+		t.Fatalf("bad walk = %q", got)
+	}
+}
+
+func TestCollectSequential(t *testing.T) {
+	tb := testbed(t, 3, 0)
+	oids := []snmp.OID{snmp.OIDSysName, snmp.OIDIfNumber}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, stats, err := tb.Station.CollectSequential(ctx, tb.DeviceNames, oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Agents != 1 || stats.Reports != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(report) != 3 {
+		t.Fatalf("report covers %d devices: %v", len(report), report)
+	}
+	for _, d := range tb.DeviceNames {
+		if report[d][snmp.OIDSysName.String()] != d {
+			t.Fatalf("device %s: %v", d, report[d])
+		}
+		if report[d][snmp.OIDIfNumber.String()] != "4" {
+			t.Fatalf("device %s ifNumber: %v", d, report[d])
+		}
+	}
+}
+
+func TestCollectBroadcast(t *testing.T) {
+	tb := testbed(t, 4, 0)
+	oids := []snmp.OID{snmp.OIDSysName}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, stats, err := tb.Station.CollectBroadcast(ctx, tb.DeviceNames, oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Agents != 4 || stats.Reports != 4 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(report) != 4 {
+		t.Fatalf("report: %v", report)
+	}
+	if got := report.SortedDevices(); got[0] != "dev0" || got[3] != "dev3" {
+		t.Fatalf("devices: %v", got)
+	}
+}
+
+func TestManAndCnmpAgree(t *testing.T) {
+	// Both management approaches must observe the same device state.
+	tb := testbed(t, 3, 4)
+	oids := tb.QueryOIDs(6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	manRep, _, err := tb.Station.CollectSequential(ctx, tb.DeviceNames, oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnmpRep, _, err := tb.CNMP.Collect(ctx, tb.ResponderNames, oids, cnmp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range tb.DeviceNames {
+		for _, oid := range oids {
+			k := oid.String()
+			if oid.Equal(snmp.OIDSysUpTime) {
+				continue // time-dependent
+			}
+			if manRep[d][k] != cnmpRep[tb.ResponderNames[i]][k] {
+				t.Fatalf("disagreement on %s %s: MAN=%q CNMP=%q",
+					d, k, manRep[d][k], cnmpRep[tb.ResponderNames[i]][k])
+			}
+		}
+	}
+}
+
+func TestE3TrafficShapeStationLoad(t *testing.T) {
+	// The paper's central claim (§6): centralized micro-management
+	// generates heavy traffic between the station and the devices, while
+	// the mobile-agent approach does on-site management. With enough
+	// variables per device, the CNMP station's byte count must exceed the
+	// MAN station's by a widening factor.
+	tb := testbed(t, 8, 32)
+	oids := tb.QueryOIDs(32)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	tb.Net.ResetStats()
+	if _, _, err := tb.Station.CollectSequential(ctx, tb.DeviceNames, oids); err != nil {
+		t.Fatal(err)
+	}
+	manStation := tb.Net.HostStats(StationHost)
+	manBytes := manStation.BytesSent + manStation.BytesRecv
+
+	tb.Net.ResetStats()
+	if _, _, err := tb.CNMP.Collect(ctx, tb.ResponderNames, oids, cnmp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cnmpStation := tb.Net.HostStats(CNMPHost)
+	cnmpBytes := cnmpStation.BytesSent + cnmpStation.BytesRecv
+
+	if manBytes == 0 || cnmpBytes == 0 {
+		t.Fatalf("missing traffic: man=%d cnmp=%d", manBytes, cnmpBytes)
+	}
+	// 8 devices × 32 vars × 2 frames of CNMP vs 1 launch + 1 report at the
+	// MAN station: expect at least 3x.
+	if cnmpBytes < 3*manBytes {
+		t.Fatalf("station-load shape violated: CNMP %d bytes, MAN %d bytes", cnmpBytes, manBytes)
+	}
+	t.Logf("station bytes: CNMP=%d MAN=%d ratio=%.1f", cnmpBytes, manBytes, float64(cnmpBytes)/float64(manBytes))
+}
+
+func TestE3CrossoverFewVariables(t *testing.T) {
+	// With one variable per device and a large code bundle, the agent's
+	// migration cost dominates: CNMP wins on total network load. This is
+	// the crossover the literature (and the paper's "none of the individual
+	// advantages represents an overwhelming motivation" caveat) predicts.
+	tb, err := NewTestbed(TestbedConfig{
+		Devices:    4,
+		Link:       netsim.LAN,
+		Seed:       1,
+		BundleSize: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	oids := tb.QueryOIDs(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	tb.Net.ResetStats()
+	if _, _, err := tb.Station.CollectSequential(ctx, tb.DeviceNames, oids); err != nil {
+		t.Fatal(err)
+	}
+	manTotal := tb.Net.TotalStats().BytesSent
+
+	tb.Net.ResetStats()
+	if _, _, err := tb.CNMP.Collect(ctx, tb.ResponderNames, oids, cnmp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cnmpTotal := tb.Net.TotalStats().BytesSent
+
+	if cnmpTotal >= manTotal {
+		t.Fatalf("crossover shape violated: with V=1 and 64 KiB code, CNMP total (%d) should be below MAN total (%d)", cnmpTotal, manTotal)
+	}
+	t.Logf("total bytes at V=1: CNMP=%d MAN=%d", cnmpTotal, manTotal)
+}
+
+func TestQueryOIDs(t *testing.T) {
+	tb := testbed(t, 1, 8)
+	if got := tb.QueryOIDs(2); len(got) != 2 {
+		t.Fatalf("QueryOIDs(2) = %v", got)
+	}
+	got := tb.QueryOIDs(10)
+	if len(got) != 10 {
+		t.Fatalf("QueryOIDs(10) = %d", len(got))
+	}
+	// The synthetic extras must exist on the devices.
+	for _, oid := range got {
+		if _, err := tb.Devices[0].Agent.Get("public", oid); err != nil {
+			t.Fatalf("missing %s: %v", oid, err)
+		}
+	}
+}
+
+func TestTickAdvancesAllDevices(t *testing.T) {
+	tb := testbed(t, 2, 0)
+	before, _ := tb.Devices[1].Agent.Get("public", snmp.OIDSysUpTime)
+	tb.Tick(time.Second)
+	after, _ := tb.Devices[1].Agent.Get("public", snmp.OIDSysUpTime)
+	if after.Int <= before.Int {
+		t.Fatal("tick did not advance device 1")
+	}
+}
+
+func TestPatternShapes(t *testing.T) {
+	seq := SequentialPattern([]string{"a", "b", "c"})
+	if got := seq.String(); got != "seq(<a>, <b>, <c; ResultReport>)" {
+		t.Fatalf("sequential = %q", got)
+	}
+	par := BroadcastPattern([]string{"a", "b"})
+	if got := par.String(); got != "par(<a; ResultReport>, <b; ResultReport>)" {
+		t.Fatalf("broadcast = %q", got)
+	}
+}
+
+func TestTestbedValidation(t *testing.T) {
+	if _, err := NewTestbed(TestbedConfig{}); err == nil {
+		t.Fatal("zero devices must fail")
+	}
+}
+
+func TestWalkCommandThroughFullStack(t *testing.T) {
+	// The NMNaplet can carry a "walk <root>" parameter: the NetManagement
+	// service walks the subtree on site and the naplet brings back every
+	// binding under it.
+	tb := testbed(t, 2, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Drive the walk via the naplet's raw parameter state.
+	results := make(chan string, 1)
+	nid, err := tb.Station.Server.Launch(ctx, server.LaunchOptions{
+		Owner:    "czxu",
+		Codebase: CodebaseName,
+		Pattern:  SequentialPattern(tb.DeviceNames[:1]),
+		InitState: func(s *state.State) error {
+			return s.SetPrivate("man.params", []string{"walk " + snmp.OIDSystem.String()})
+		},
+		Listener: func(r manager.Result) { results <- "" + string(r.Body) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Station.Server.WaitDone(ctx, nid); err != nil {
+		t.Fatal(err)
+	}
+	body := <-results
+	rep, _, err := DecodeReport([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tb.DeviceNames[0]
+	if len(rep[dev]) < 5 {
+		t.Fatalf("system-subtree walk returned %d objects: %v", len(rep[dev]), rep[dev])
+	}
+	if rep[dev][snmp.OIDSysName.String()] != dev {
+		t.Fatalf("walked sysName = %q", rep[dev][snmp.OIDSysName.String()])
+	}
+}

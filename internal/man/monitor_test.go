@@ -1,0 +1,100 @@
+package man
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/resource"
+	"repro/internal/snmp"
+)
+
+func TestEventPollService(t *testing.T) {
+	dev := snmp.NewDevice(snmp.DeviceConfig{Name: "r1", Seed: 3})
+	mgr := resource.NewManager(nil)
+	mgr.RegisterPrivileged(EventServiceName, NewEventPollService(dev))
+
+	ch, err := mgr.OpenChannel(nil, EventServiceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	// Before any workload: empty poll, round 0.
+	ch.WriteLine("poll")
+	if line, _ := ch.ReadLine(); line != "" {
+		t.Fatalf("fresh poll = %q", line)
+	}
+	ch.WriteLine("round")
+	if line, _ := ch.ReadLine(); line != "0" {
+		t.Fatalf("round = %q", line)
+	}
+
+	for i := 0; i < 5; i++ {
+		dev.TickEvents(time.Second)
+	}
+	ch.WriteLine("poll")
+	line, _ := ch.ReadLine()
+	events := strings.Split(line, ";")
+	if len(events) < 5 {
+		t.Fatalf("poll after 5 rounds: %d events", len(events))
+	}
+	for _, ev := range events {
+		if strings.Count(ev, "|") != 3 {
+			t.Fatalf("malformed event %q", ev)
+		}
+	}
+	ch.WriteLine("round")
+	if rline, _ := ch.ReadLine(); rline != "5" {
+		t.Fatalf("round = %q", rline)
+	}
+	// Unknown command errors without killing the loop.
+	ch.WriteLine("bogus")
+	if eline, _ := ch.ReadLine(); !strings.Contains(eline, "error") {
+		t.Fatalf("bogus command reply: %q", eline)
+	}
+}
+
+func TestMonitorAllFiltersOnSite(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Devices: 3, Seed: 6, Link: netsim.LAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	const rounds = 15
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := 0; r < rounds; r++ {
+			tb.TickEvents(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := tb.Station.MonitorAll(ctx, tb.DeviceNames, rounds)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, signif := tb.TrapTotals()
+	if res.Seen != total {
+		t.Fatalf("monitors saw %d of %d events", res.Seen, total)
+	}
+	alerts := 0
+	for _, a := range res.Alerts {
+		alerts += len(a)
+	}
+	if alerts != signif {
+		t.Fatalf("alerts %d != significant %d", alerts, signif)
+	}
+	if res.Filtered != total-signif {
+		t.Fatalf("filtered %d != noise %d", res.Filtered, total-signif)
+	}
+	if len(res.Alerts) != 3 {
+		t.Fatalf("device coverage: %v", res.Alerts)
+	}
+}

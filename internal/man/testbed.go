@@ -1,0 +1,219 @@
+package man
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cnmp"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/snmp"
+)
+
+// TestbedConfig parameterizes a simulated managed network: the rig behind
+// the E3 experiment and the §6 example.
+type TestbedConfig struct {
+	// Devices is the managed device count.
+	Devices int
+	// Interfaces per device (default 4).
+	Interfaces int
+	// ExtraVars adds synthetic per-device scalars for MIB-size sweeps.
+	ExtraVars int
+	// Link is the link characteristic between all hosts (e.g. netsim.LAN
+	// or netsim.WAN).
+	Link netsim.Link
+	// TimeScale compresses modeled time (0 = no sleeping, pure traffic
+	// accounting).
+	TimeScale float64
+	// Seed seeds device workloads and the loss process.
+	Seed int64
+	// BundleSize models the NMNaplet code bundle (0 = registry default).
+	BundleSize int
+	// Community is the SNMP read community.
+	Community string
+}
+
+// Testbed is a complete simulated managed network: a fabric, N managed
+// devices each hosting a naplet server (with the NetManagement privileged
+// service) and an SNMP responder, a MAN station, and a CNMP station.
+type Testbed struct {
+	Net *netsim.Network
+	Reg *registry.Registry
+
+	// Devices are the simulated managed devices.
+	Devices []*snmp.Device
+	// DeviceNames are the naplet-server addresses ("dev0"...).
+	DeviceNames []string
+	// ResponderNames are the SNMP daemon addresses ("dev0:161"...).
+	ResponderNames []string
+
+	// Station is the MAN management station.
+	Station *Station
+	// CNMP is the conventional management station.
+	CNMP *cnmp.Station
+
+	servers    []*server.Server
+	responders []*cnmp.Responder
+}
+
+// StationHost is the MAN station's fabric address.
+const StationHost = "station"
+
+// CNMPHost is the CNMP station's fabric address.
+const CNMPHost = "cstation"
+
+// NewTestbed builds the rig.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("man: need at least one device")
+	}
+	if cfg.Community == "" {
+		cfg.Community = "public"
+	}
+	tb := &Testbed{
+		Net: netsim.New(netsim.Config{
+			DefaultLink: cfg.Link,
+			TimeScale:   cfg.TimeScale,
+			Seed:        cfg.Seed,
+			CallTimeout: 5 * time.Second,
+		}),
+		Reg: registry.New(),
+	}
+	if err := RegisterCodebase(tb.Reg, cfg.BundleSize); err != nil {
+		return nil, err
+	}
+	if err := RegisterMonitorCodebase(tb.Reg, cfg.BundleSize); err != nil {
+		return nil, err
+	}
+
+	// Managed devices: naplet server + NetManagement service + responder.
+	for i := 0; i < cfg.Devices; i++ {
+		name := fmt.Sprintf("dev%d", i)
+		dev := snmp.NewDevice(snmp.DeviceConfig{
+			Name:       name,
+			Interfaces: cfg.Interfaces,
+			Community:  cfg.Community,
+			Seed:       cfg.Seed + int64(i),
+			ExtraVars:  cfg.ExtraVars,
+		})
+		srv, err := server.New(server.Config{
+			Name:     name,
+			Fabric:   tb.Net,
+			Registry: tb.Reg,
+		})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		if err := srv.Resources().RegisterPrivileged(ServiceName, NewNetManagementService(dev, cfg.Community)); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		if err := srv.Resources().RegisterPrivileged(EventServiceName, NewEventPollService(dev)); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		responderAddr := name + ":161"
+		resp, err := cnmp.AttachResponder(tb.Net, responderAddr, dev)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		tb.Devices = append(tb.Devices, dev)
+		tb.DeviceNames = append(tb.DeviceNames, name)
+		tb.ResponderNames = append(tb.ResponderNames, responderAddr)
+		tb.servers = append(tb.servers, srv)
+		tb.responders = append(tb.responders, resp)
+	}
+
+	// MAN station.
+	home, err := server.New(server.Config{
+		Name:     StationHost,
+		Fabric:   tb.Net,
+		Registry: tb.Reg,
+	})
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	tb.servers = append(tb.servers, home)
+	tb.Station = &Station{Server: home, Owner: "czxu"}
+
+	// CNMP station.
+	cs, err := cnmp.NewStation(tb.Net, CNMPHost)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	tb.CNMP = cs
+	return tb, nil
+}
+
+// Tick advances every device's workload by dt.
+func (tb *Testbed) Tick(dt time.Duration) {
+	for _, d := range tb.Devices {
+		d.Tick(dt)
+	}
+}
+
+// QueryOIDs builds the per-device variable list for a sweep of size v:
+// standard objects first, then synthetic extras.
+func (tb *Testbed) QueryOIDs(v int) []snmp.OID {
+	std := []snmp.OID{snmp.OIDSysDescr, snmp.OIDSysUpTime, snmp.OIDSysName, snmp.OIDIfNumber}
+	if v <= len(std) {
+		return std[:v]
+	}
+	out := append([]snmp.OID(nil), std...)
+	for i := 0; len(out) < v; i++ {
+		out = append(out, snmp.ExtraVarOID(i))
+	}
+	return out
+}
+
+// Close tears the rig down.
+func (tb *Testbed) Close() {
+	for _, s := range tb.servers {
+		s.Close()
+	}
+	for _, r := range tb.responders {
+		r.Close()
+	}
+	if tb.CNMP != nil {
+		tb.CNMP.Close()
+	}
+}
+
+// TickEvents advances every device's workload by dt and emits the round's
+// trap notifications.
+func (tb *Testbed) TickEvents(dt time.Duration) {
+	for _, d := range tb.Devices {
+		d.TickEvents(dt)
+	}
+}
+
+// ForwardAllTraps drains every device's pending traps to the given station
+// over the network — the conventional trap path, one frame per trap.
+func (tb *Testbed) ForwardAllTraps(ctx context.Context, station string) (int, error) {
+	total := 0
+	for _, r := range tb.responders {
+		n, err := r.ForwardTraps(ctx, station)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// TrapTotals sums lifetime (total, significant) trap counts across all
+// devices.
+func (tb *Testbed) TrapTotals() (total, significant int) {
+	for _, d := range tb.Devices {
+		tt, ss := d.TrapTotals()
+		total += tt
+		significant += ss
+	}
+	return total, significant
+}

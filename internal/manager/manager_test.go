@@ -1,0 +1,283 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+)
+
+var t0 = time.Date(2001, 5, 12, 17, 27, 20, 0, time.UTC)
+
+func newMgr() *Manager {
+	return New("s1", func() time.Time { return t0 })
+}
+
+func TestLaunchStatusLifecycle(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "s1", t0)
+	m.RecordLaunch(nid, nil)
+	s, _, err := m.Status(nid)
+	if err != nil || s != StatusLaunched {
+		t.Fatalf("status = %v %v", s, err)
+	}
+	m.SetStatus(nid, StatusRunning, "")
+	m.SetStatus(nid, StatusCompleted, "")
+	s, _, _ = m.Status(nid)
+	if s != StatusCompleted {
+		t.Fatalf("status = %v", s)
+	}
+	// Terminal status is sticky.
+	m.SetStatus(nid, StatusRunning, "")
+	if s, _, _ := m.Status(nid); s != StatusCompleted {
+		t.Fatal("terminal status must not regress")
+	}
+	if len(m.Launched()) != 1 {
+		t.Fatalf("launched = %v", m.Launched())
+	}
+}
+
+func TestStatusUnknown(t *testing.T) {
+	m := newMgr()
+	if _, _, err := m.Status(id.MustNew("u", "s1", t0)); !errors.Is(err, ErrUnknown) {
+		t.Fatal(err)
+	}
+	// SetStatus for unknown naplets is a no-op, not a panic.
+	m.SetStatus(id.MustNew("u", "s1", t0), StatusRunning, "")
+}
+
+func TestDeliverToListener(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "s1", t0)
+	var mu sync.Mutex
+	var got []Result
+	m.RecordLaunch(nid, func(r Result) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	m.Deliver(nid, []byte("hello"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || string(got[0].Body) != "hello" {
+		t.Fatalf("listener got %v", got)
+	}
+	if rs := m.Results(nid); len(rs) != 1 || string(rs[0].Body) != "hello" {
+		t.Fatalf("results = %v", rs)
+	}
+}
+
+func TestDeliverFromCloneInheritsListener(t *testing.T) {
+	// §6.2: a broadcast itinerary spawns a child per server; "the spawned
+	// naplets will report their results individually" to the home listener.
+	m := newMgr()
+	orig := id.MustNew("u", "s1", t0)
+	clone, _ := orig.Clone(2)
+	var mu sync.Mutex
+	var got []Result
+	m.RecordLaunch(orig, func(r Result) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	m.Deliver(clone, []byte("from clone"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || !got[0].NapletID.Equal(clone) {
+		t.Fatalf("clone report not routed to originator listener: %v", got)
+	}
+}
+
+func TestDeliverUnknownNapletStored(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "s1", t0)
+	m.Deliver(nid, []byte("r"))
+	if rs := m.Results(nid); len(rs) != 1 {
+		t.Fatalf("results = %v", rs)
+	}
+	if rs := m.Results(id.MustNew("x", "s1", t0)); rs != nil {
+		t.Fatal("unknown naplet results must be nil")
+	}
+}
+
+func TestWaitDone(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "s1", t0)
+	m.RecordLaunch(nid, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s, err := m.WaitDone(context.Background(), nid)
+		if err != nil || s != StatusCompleted {
+			t.Errorf("WaitDone = %v %v", s, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.SetStatus(nid, StatusCompleted, "")
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitDone did not return")
+	}
+
+	// Unknown naplet.
+	if _, err := m.WaitDone(context.Background(), id.MustNew("x", "s1", t0)); !errors.Is(err, ErrUnknown) {
+		t.Fatal(err)
+	}
+	// Context cancellation.
+	other := id.MustNew("y", "s1", t0)
+	m.RecordLaunch(other, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := m.WaitDone(ctx, other); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal(err)
+	}
+}
+
+func TestVisitTraceChain(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "home", t0)
+
+	if tr := m.TraceNaplet(nid); tr.Known {
+		t.Fatal("unknown naplet must not be known")
+	}
+	m.RecordArrival(nid, "cb", "home", t0)
+	tr := m.TraceNaplet(nid)
+	if !tr.Known || !tr.Present {
+		t.Fatalf("trace after arrival: %+v", tr)
+	}
+	if m.Resident() != 1 {
+		t.Fatal("resident count")
+	}
+	if err := m.RecordDeparture(nid, "s2", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	tr = m.TraceNaplet(nid)
+	if !tr.Known || tr.Present || tr.Dest != "s2" {
+		t.Fatalf("trace after departure: %+v", tr)
+	}
+	if m.Resident() != 0 {
+		t.Fatal("resident after departure")
+	}
+}
+
+func TestRecordDepartureWithoutArrival(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "home", t0)
+	if err := m.RecordDeparture(nid, "s2", t0); !errors.Is(err, ErrUnknown) {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	m := newMgr()
+	a := id.MustNew("a", "h", t0)
+	b := id.MustNew("b", "h", t0)
+	m.RecordArrival(a, "cbA", "home", t0)
+	m.RecordArrival(b, "cbB", "s9", t0.Add(time.Second))
+	m.RecordDeparture(a, "s2", t0.Add(2*time.Second))
+	m.RecordEnd(b, t0.Add(3*time.Second))
+
+	fps := m.Footprints()
+	if len(fps) != 2 {
+		t.Fatalf("footprints = %v", fps)
+	}
+	if fps[0].Codebase != "cbA" || fps[0].Dest != "s2" || fps[0].LeftAt.IsZero() {
+		t.Fatalf("fp[0] = %+v", fps[0])
+	}
+	if fps[1].Source != "s9" || fps[1].Dest != "" || fps[1].LeftAt.IsZero() {
+		t.Fatalf("fp[1] = %+v", fps[1])
+	}
+}
+
+func TestRevisitCreatesSecondFootprint(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "h", t0)
+	m.RecordArrival(nid, "cb", "home", t0)
+	m.RecordDeparture(nid, "s2", t0.Add(time.Second))
+	m.RecordArrival(nid, "cb", "s2", t0.Add(5*time.Second))
+	fps := m.Footprints()
+	if len(fps) != 2 {
+		t.Fatalf("revisit must add a footprint: %v", fps)
+	}
+	if !m.TraceNaplet(nid).Present {
+		t.Fatal("trace must show present after revisit")
+	}
+	// Departure closes the newest open footprint, not the old one.
+	m.RecordDeparture(nid, "s3", t0.Add(6*time.Second))
+	fps = m.Footprints()
+	if fps[1].Dest != "s3" || fps[0].Dest != "s2" {
+		t.Fatalf("wrong footprint closed: %+v", fps)
+	}
+}
+
+func TestHomeTrack(t *testing.T) {
+	m := newMgr()
+	nid := id.MustNew("u", "s1", t0)
+	if _, ok := m.HomeLocate(nid); ok {
+		t.Fatal("empty home track")
+	}
+	m.HomeRecord(nid, "s5", true, t0.Add(time.Second))
+	if server, ok := m.HomeLocate(nid); !ok || server != "s5" {
+		t.Fatalf("HomeLocate = %q %v", server, ok)
+	}
+	// Stale report must not regress.
+	m.HomeRecord(nid, "s2", false, t0)
+	if server, _ := m.HomeLocate(nid); server != "s5" {
+		t.Fatalf("stale home record applied: %q", server)
+	}
+	m.HomeRecord(nid, "s7", true, t0.Add(2*time.Second))
+	if server, _ := m.HomeLocate(nid); server != "s7" {
+		t.Fatalf("newer home record ignored: %q", server)
+	}
+}
+
+func TestStatusStringAndTerminal(t *testing.T) {
+	names := map[Status]string{
+		StatusLaunched: "launched", StatusRunning: "running",
+		StatusSuspended: "suspended", StatusInTransit: "in-transit",
+		StatusCompleted: "completed", StatusTerminated: "terminated",
+		StatusTrapped: "trapped",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+	if Status(99).String() != "Status(99)" {
+		t.Fatal("unknown status")
+	}
+	if !StatusCompleted.Terminal() || !StatusTerminated.Terminal() || !StatusTrapped.Terminal() {
+		t.Fatal("terminal statuses")
+	}
+	if StatusRunning.Terminal() || StatusLaunched.Terminal() {
+		t.Fatal("non-terminal statuses")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := newMgr()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nid := id.MustNew("u", "h", t0.Add(time.Duration(i)*time.Second))
+			m.RecordLaunch(nid, nil)
+			m.RecordArrival(nid, "cb", "home", t0)
+			m.Deliver(nid, []byte("r"))
+			m.TraceNaplet(nid)
+			m.RecordDeparture(nid, "s2", t0)
+			m.HomeRecord(nid, "s2", true, t0)
+			m.HomeLocate(nid)
+			m.Footprints()
+		}(i)
+	}
+	wg.Wait()
+	if len(m.Footprints()) != 8 {
+		t.Fatal("concurrent records lost")
+	}
+}

@@ -1,0 +1,519 @@
+// Package messenger implements the Messenger of §2.2 and the post-office
+// messaging protocol of §4.2: persistent, asynchronous, location-independent
+// inter-naplet communication.
+//
+// On receiving a naplet, the messenger creates a mailbox for its
+// correspondence. Posting a message resolves the target's most recent
+// server through the Locator (or the sender's address book) and sends it
+// there. The receiving messenger then follows the paper's three cases:
+//
+//  1. the naplet is running there: deliver to its mailbox (user messages)
+//     or cast an interrupt (system messages) and confirm to the sender;
+//  2. the naplet has moved on: consult the NapletManager's visit trace and
+//     forward to the server the naplet left for, repeating "until the
+//     message catches up" with the naplet;
+//  3. the naplet has not arrived yet (it may be blocked in the network):
+//     hold the message in a special mailbox and deliver it when the naplet
+//     lands.
+//
+// Delivery confirmations flow back along the forwarding chain and carry the
+// delivering server, which refreshes the sender's locator cache and address
+// book.
+package messenger
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/locator"
+	"repro/internal/manager"
+	"repro/internal/naplet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// PostBody is the wire body of a KindPost frame.
+type PostBody struct {
+	Msg naplet.Message
+	// Hops counts forwarding legs already taken.
+	Hops int
+}
+
+// ConfirmBody is the wire body of a KindPostConfirm frame.
+type ConfirmBody struct {
+	// Delivered reports the message reached the naplet's mailbox (or its
+	// interrupt handler, for system messages).
+	Delivered bool
+	// Held reports the message was parked in a special mailbox awaiting
+	// the naplet's arrival (case 3).
+	Held bool
+	// Server is where the message ended up: the delivering server or the
+	// holding server. Senders refresh their caches from it.
+	Server string
+	// Hops is the total number of forwarding legs taken.
+	Hops int
+}
+
+// Errors reported by the messenger.
+var (
+	ErrUnknownPeer   = errors.New("messenger: target not in address book")
+	ErrHopsExceeded  = errors.New("messenger: forwarding hop limit exceeded")
+	ErrNapletGone    = errors.New("messenger: naplet ended its life cycle here")
+	ErrMailboxClosed = errors.New("messenger: mailbox closed")
+)
+
+// Stats counts messenger activity at one server.
+type Stats struct {
+	Posted     int64 // messages sent from this server
+	Delivered  int64 // messages delivered into local mailboxes
+	Forwarded  int64 // messages forwarded to another server
+	Held       int64 // messages parked in the special mailbox
+	DrainedH   int64 // held messages later delivered on arrival
+	Interrupts int64 // system messages cast as interrupts
+}
+
+// InterruptSink casts a system message onto a resident naplet; it reports
+// false when the naplet has no running group here.
+type InterruptSink func(to id.NapletID, msg naplet.Message) bool
+
+// Config parameterizes a messenger.
+type Config struct {
+	// MaxHops bounds the forwarding chain (default 16).
+	MaxHops int
+	// ForwardTimeout bounds each forwarding call (default 10s).
+	ForwardTimeout time.Duration
+}
+
+// Messenger is the per-server post office. It is safe for concurrent use.
+type Messenger struct {
+	cfg    Config
+	server string
+	node   transport.Node
+	loc    *locator.Locator
+	mgr    *manager.Manager
+	clock  func() time.Time
+
+	mu        sync.Mutex
+	mailboxes map[string]*Mailbox
+	special   map[string][]naplet.Message
+	interrupt InterruptSink
+	stats     Stats
+}
+
+// New builds the messenger of a server. node sends outbound frames; loc
+// resolves targets; mgr supplies visit traces for forwarding; nil clock
+// means time.Now.
+func New(cfg Config, server string, node transport.Node, loc *locator.Locator, mgr *manager.Manager, clock func() time.Time) *Messenger {
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 16
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 10 * time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Messenger{
+		cfg:       cfg,
+		server:    server,
+		node:      node,
+		loc:       loc,
+		mgr:       mgr,
+		clock:     clock,
+		mailboxes: make(map[string]*Mailbox),
+		special:   make(map[string][]naplet.Message),
+	}
+}
+
+// SetInterruptSink installs the monitor hook that casts system messages
+// onto resident naplets.
+func (m *Messenger) SetInterruptSink(sink InterruptSink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.interrupt = sink
+}
+
+// Stats returns activity counters.
+func (m *Messenger) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ---- Mailbox lifecycle ----
+
+// CreateMailbox opens the mailbox for an arriving naplet and drains any
+// messages held for it in the special mailbox (§4.2 case 3: "On receiving
+// the naplet B, Sb's Messenger creates a mailbox and dumps the B's messages
+// in the special mailbox to B's mailbox"). Held system messages are cast
+// as interrupts, not queued: a suspend or terminate that raced the
+// naplet's landing still takes effect.
+func (m *Messenger) CreateMailbox(nid id.NapletID) *Mailbox {
+	m.mu.Lock()
+	key := nid.Key()
+	mb, ok := m.mailboxes[key]
+	if !ok {
+		mb = newMailbox()
+		m.mailboxes[key] = mb
+	}
+	held := m.special[key]
+	delete(m.special, key)
+	sink := m.interrupt
+	var drained, interrupts int64
+	m.mu.Unlock()
+
+	for _, msg := range held {
+		if msg.IsSystem() && sink != nil && sink(nid, msg) {
+			interrupts++
+			continue
+		}
+		mb.put(msg)
+		drained++
+	}
+	m.mu.Lock()
+	m.stats.DrainedH += drained + interrupts
+	m.stats.Delivered += drained
+	m.stats.Interrupts += interrupts
+	m.mu.Unlock()
+	return mb
+}
+
+// Mailbox returns the open mailbox of a resident naplet.
+func (m *Messenger) Mailbox(nid id.NapletID) (*Mailbox, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.mailboxes[nid.Key()]
+	return mb, ok
+}
+
+// CloseMailbox removes a departing naplet's mailbox and returns any
+// undelivered messages so the caller can forward them after the naplet.
+func (m *Messenger) CloseMailbox(nid id.NapletID) []naplet.Message {
+	m.mu.Lock()
+	mb, ok := m.mailboxes[nid.Key()]
+	delete(m.mailboxes, nid.Key())
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return mb.close()
+}
+
+// ForwardLeftovers re-posts messages left in a departed naplet's mailbox
+// toward its destination server.
+func (m *Messenger) ForwardLeftovers(ctx context.Context, dest string, msgs []naplet.Message) error {
+	var firstErr error
+	for _, msg := range msgs {
+		if _, err := m.send(ctx, dest, PostBody{Msg: msg}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---- Sending ----
+
+// Post sends a user message from a resident naplet to a peer. The peer
+// must appear in the sender's address book ("we restrict communications
+// between naplets who know their identifiers", §2.1). The sender's book and
+// locator cache are refreshed from the delivery confirmation.
+func (m *Messenger) Post(ctx context.Context, from *naplet.Record, to id.NapletID, subject string, body []byte) error {
+	entry, known := from.Book.Lookup(to)
+	if !known {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	msg := naplet.Message{
+		From:    from.ID,
+		To:      to,
+		Class:   naplet.UserMessage,
+		Subject: subject,
+		Body:    append([]byte(nil), body...),
+		SentAt:  m.clock(),
+	}
+	confirm, err := m.route(ctx, msg, entry.ServerURN)
+	if err != nil {
+		return err
+	}
+	from.Book.Update(to, confirm.Server)
+	return nil
+}
+
+// SendControl sends a system message (callback, terminate, suspend,
+// resume) to a naplet, typically invoked by its home manager on behalf of
+// the owner. hint may be empty.
+func (m *Messenger) SendControl(ctx context.Context, to id.NapletID, verb naplet.ControlVerb, hint string) error {
+	msg := naplet.Message{
+		To:      to,
+		Class:   naplet.SystemMessage,
+		Control: verb,
+		SentAt:  m.clock(),
+	}
+	_, err := m.route(ctx, msg, hint)
+	return err
+}
+
+// route resolves the target and sends the message, returning the
+// confirmation.
+func (m *Messenger) route(ctx context.Context, msg naplet.Message, hint string) (ConfirmBody, error) {
+	server := hint
+	if m.loc != nil {
+		if s, err := m.loc.Locate(ctx, msg.To, hint); err == nil {
+			server = s
+		} else if hint == "" {
+			return ConfirmBody{}, err
+		}
+	}
+	if server == "" {
+		return ConfirmBody{}, fmt.Errorf("messenger: no route to %s", msg.To)
+	}
+	m.mu.Lock()
+	m.stats.Posted++
+	m.mu.Unlock()
+	confirm, err := m.send(ctx, server, PostBody{Msg: msg})
+	if err != nil {
+		if m.loc != nil {
+			m.loc.Invalidate(msg.To)
+		}
+		return ConfirmBody{}, err
+	}
+	if m.loc != nil && confirm.Delivered {
+		m.loc.Refresh(msg.To, confirm.Server)
+	}
+	return confirm, nil
+}
+
+// send performs one network leg of the post protocol.
+func (m *Messenger) send(ctx context.Context, server string, body PostBody) (ConfirmBody, error) {
+	// A message addressed to a naplet on this very server short-circuits.
+	if server == m.server {
+		return m.deliverOrForward(ctx, body)
+	}
+	f, err := wire.NewFrame(wire.KindPost, "", "", &body)
+	if err != nil {
+		return ConfirmBody{}, err
+	}
+	reply, err := m.node.Call(ctx, server, f)
+	if err != nil {
+		return ConfirmBody{}, err
+	}
+	var confirm ConfirmBody
+	if err := reply.Body(&confirm); err != nil {
+		return ConfirmBody{}, err
+	}
+	return confirm, nil
+}
+
+// ---- Receiving ----
+
+// HandlePost is the server's KindPost frame handler.
+func (m *Messenger) HandlePost(from string, f wire.Frame) (wire.Frame, error) {
+	var body PostBody
+	if err := f.Body(&body); err != nil {
+		return wire.Frame{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ForwardTimeout)
+	defer cancel()
+	confirm, err := m.deliverOrForward(ctx, body)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return wire.NewFrame(wire.KindPostConfirm, f.To, f.From, &confirm)
+}
+
+// deliverOrForward applies the paper's three delivery cases at this server.
+func (m *Messenger) deliverOrForward(ctx context.Context, body PostBody) (ConfirmBody, error) {
+	to := body.Msg.To
+
+	// Case 1: the naplet is here.
+	if delivered := m.deliverLocal(body.Msg); delivered {
+		return ConfirmBody{Delivered: true, Server: m.server, Hops: body.Hops}, nil
+	}
+
+	// Case 2: the naplet moved on — chase it along the visit trace.
+	if m.mgr != nil {
+		tr := m.mgr.TraceNaplet(to)
+		if tr.Known && !tr.Present {
+			if tr.Dest == "" {
+				return ConfirmBody{}, fmt.Errorf("%w: %s", ErrNapletGone, to)
+			}
+			if body.Hops+1 > m.cfg.MaxHops {
+				return ConfirmBody{}, fmt.Errorf("%w: %d", ErrHopsExceeded, body.Hops)
+			}
+			m.mu.Lock()
+			m.stats.Forwarded++
+			m.mu.Unlock()
+			next := PostBody{Msg: body.Msg, Hops: body.Hops + 1}
+			return m.send(ctx, tr.Dest, next)
+		}
+		if tr.Known && tr.Present {
+			// Present but no mailbox/interrupt target — a system message
+			// for a naplet without a group, or a race with landing.
+			// Hold it; the landing will drain the special mailbox.
+			return m.hold(body), nil
+		}
+	}
+
+	// Case 3: not arrived yet — park in the special mailbox.
+	return m.hold(body), nil
+}
+
+func (m *Messenger) hold(body PostBody) ConfirmBody {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := body.Msg.To.Key()
+	m.special[key] = append(m.special[key], body.Msg)
+	m.stats.Held++
+	return ConfirmBody{Held: true, Server: m.server, Hops: body.Hops}
+}
+
+// deliverLocal tries local delivery: interrupts for system messages,
+// mailbox for user messages.
+func (m *Messenger) deliverLocal(msg naplet.Message) bool {
+	if msg.IsSystem() {
+		m.mu.Lock()
+		sink := m.interrupt
+		m.mu.Unlock()
+		if sink != nil && sink(msg.To, msg) {
+			m.mu.Lock()
+			m.stats.Interrupts++
+			m.mu.Unlock()
+			return true
+		}
+		return false
+	}
+	m.mu.Lock()
+	mb, ok := m.mailboxes[msg.To.Key()]
+	if ok {
+		m.stats.Delivered++
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	mb.put(msg)
+	return true
+}
+
+// HeldCount reports how many messages are parked for a naplet (tests and
+// introspection).
+func (m *Messenger) HeldCount(nid id.NapletID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.special[nid.Key()])
+}
+
+// ---- Mailbox ----
+
+// Mailbox is one naplet's message queue at its current server.
+type Mailbox struct {
+	mu     sync.Mutex
+	msgs   []naplet.Message
+	wake   chan struct{}
+	closed bool
+}
+
+func newMailbox() *Mailbox {
+	return &Mailbox{wake: make(chan struct{}, 1)}
+}
+
+func (b *Mailbox) put(msg naplet.Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.msgs = append(b.msgs, msg)
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// TryReceive returns the next message without blocking.
+func (b *Mailbox) TryReceive() (naplet.Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.msgs) == 0 {
+		return naplet.Message{}, false
+	}
+	msg := b.msgs[0]
+	b.msgs = b.msgs[1:]
+	return msg, true
+}
+
+// Receive blocks until a message arrives, the mailbox closes, or ctx ends.
+func (b *Mailbox) Receive(ctx context.Context) (naplet.Message, error) {
+	for {
+		b.mu.Lock()
+		if len(b.msgs) > 0 {
+			msg := b.msgs[0]
+			b.msgs = b.msgs[1:]
+			b.mu.Unlock()
+			return msg, nil
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return naplet.Message{}, ErrMailboxClosed
+		}
+		b.mu.Unlock()
+		select {
+		case <-b.wake:
+		case <-ctx.Done():
+			return naplet.Message{}, ctx.Err()
+		}
+	}
+}
+
+// Len reports the queued message count.
+func (b *Mailbox) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.msgs)
+}
+
+// close marks the mailbox closed and returns undelivered messages.
+func (b *Mailbox) close() []naplet.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	left := b.msgs
+	b.msgs = nil
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	return left
+}
+
+// View binds the messenger to one resident naplet, implementing
+// naplet.MessengerAPI.
+type View struct {
+	m      *Messenger
+	record *naplet.Record
+	mb     *Mailbox
+}
+
+// NewView builds the per-naplet messaging surface around the naplet's open
+// mailbox.
+func NewView(m *Messenger, record *naplet.Record, mb *Mailbox) *View {
+	return &View{m: m, record: record, mb: mb}
+}
+
+// Post implements naplet.MessengerAPI.
+func (v *View) Post(ctx context.Context, to id.NapletID, subject string, body []byte) error {
+	return v.m.Post(ctx, v.record, to, subject, body)
+}
+
+// Receive implements naplet.MessengerAPI.
+func (v *View) Receive(ctx context.Context) (naplet.Message, error) {
+	return v.mb.Receive(ctx)
+}
+
+// TryReceive implements naplet.MessengerAPI.
+func (v *View) TryReceive() (naplet.Message, bool) {
+	return v.mb.TryReceive()
+}

@@ -1,0 +1,398 @@
+package messenger
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/id"
+	"repro/internal/locator"
+	"repro/internal/manager"
+	"repro/internal/naplet"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+var t0 = time.Date(2001, 5, 12, 17, 27, 20, 0, time.UTC)
+
+// post office test rig: three servers sa, sb, sc on a netsim, each with a
+// manager, a forward-mode locator, and a messenger.
+type rig struct {
+	net  *netsim.Network
+	mgrs map[string]*manager.Manager
+	msgr map[string]*Messenger
+}
+
+func newRig(t *testing.T, servers ...string) *rig {
+	t.Helper()
+	r := &rig{
+		net:  netsim.New(netsim.Config{}),
+		mgrs: make(map[string]*manager.Manager),
+		msgr: make(map[string]*Messenger),
+	}
+	clock := func() time.Time { return t0 }
+	for _, s := range servers {
+		s := s
+		mgr := manager.New(s, clock)
+		var msgr *Messenger
+		node, err := r.net.Attach(s, func(from string, f wire.Frame) (wire.Frame, error) {
+			if f.Kind == wire.KindPost {
+				return msgr.HandlePost(from, f)
+			}
+			return wire.Frame{}, fmt.Errorf("unexpected kind %q", f.Kind)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc := locator.New(locator.Config{Mode: locator.ModeForward}, node, mgr, clock)
+		msgr = New(Config{}, s, node, loc, mgr, clock)
+		r.mgrs[s] = mgr
+		r.msgr[s] = msgr
+	}
+	return r
+}
+
+// agent makes a record for naplet owned by owner homed at home, present at
+// a server with an open mailbox.
+func (r *rig) land(t *testing.T, owner, home, at string) *naplet.Record {
+	t.Helper()
+	nid := id.MustNew(owner, home, t0)
+	// Credential content is irrelevant to the messenger.
+	rec := naplet.NewRecord(nid, cred.Credential{NapletID: nid}, "cb", home, nil)
+	r.mgrs[at].RecordArrival(nid, "cb", home, t0)
+	r.msgr[at].CreateMailbox(nid)
+	return rec
+}
+
+// landRecord lands an existing record at a server.
+func (r *rig) move(t *testing.T, rec *naplet.Record, from, to string) {
+	t.Helper()
+	if err := r.mgrs[from].RecordDeparture(rec.ID, to, t0); err != nil {
+		t.Fatal(err)
+	}
+	left := r.msgr[from].CloseMailbox(rec.ID)
+	r.mgrs[to].RecordArrival(rec.ID, "cb", from, t0)
+	r.msgr[to].CreateMailbox(rec.ID)
+	if len(left) > 0 {
+		if err := r.msgr[from].ForwardLeftovers(context.Background(), to, left); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDirectDelivery(t *testing.T) {
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+	a.Book.Add(b.ID, "sb")
+
+	err := r.msgr["sa"].Post(context.Background(), a, b.ID, "greet", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := r.msgr["sb"].Mailbox(b.ID)
+	msg, ok := mb.TryReceive()
+	if !ok || string(msg.Body) != "hello" || msg.Subject != "greet" {
+		t.Fatalf("delivery: %+v %v", msg, ok)
+	}
+	if !msg.From.Equal(a.ID) {
+		t.Fatalf("sender = %v", msg.From)
+	}
+	if r.msgr["sa"].Stats().Posted != 1 || r.msgr["sb"].Stats().Delivered != 1 {
+		t.Fatalf("stats: %+v %+v", r.msgr["sa"].Stats(), r.msgr["sb"].Stats())
+	}
+}
+
+func TestAddressBookRestriction(t *testing.T) {
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+	// b is NOT in a's address book.
+	err := r.msgr["sa"].Post(context.Background(), a, b.ID, "x", nil)
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("want ErrUnknownPeer, got %v", err)
+	}
+}
+
+func TestForwardingChasesNaplet(t *testing.T) {
+	// §4.2 case 2: B moved sb -> sc; the message forwards along the trace.
+	r := newRig(t, "sa", "sb", "sc")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+	a.Book.Add(b.ID, "sb") // stale: b will move
+
+	r.move(t, b, "sb", "sc")
+
+	err := r.msgr["sa"].Post(context.Background(), a, b.ID, "chase", []byte("catch me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := r.msgr["sc"].Mailbox(b.ID)
+	msg, ok := mb.TryReceive()
+	if !ok || string(msg.Body) != "catch me" {
+		t.Fatalf("forwarded delivery failed: %v %v", msg, ok)
+	}
+	if r.msgr["sb"].Stats().Forwarded != 1 {
+		t.Fatalf("sb stats: %+v", r.msgr["sb"].Stats())
+	}
+	// The confirmation updated a's address book to the delivering server.
+	e, _ := a.Book.Lookup(b.ID)
+	if e.ServerURN != "sc" {
+		t.Fatalf("book not refreshed: %q", e.ServerURN)
+	}
+}
+
+func TestMultiHopForwarding(t *testing.T) {
+	r := newRig(t, "sa", "s1", "s2", "s3", "s4")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "s1", "s1")
+	a.Book.Add(b.ID, "s1")
+	r.move(t, b, "s1", "s2")
+	r.move(t, b, "s2", "s3")
+	r.move(t, b, "s3", "s4")
+
+	if err := r.msgr["sa"].Post(context.Background(), a, b.ID, "x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := r.msgr["s4"].Mailbox(b.ID)
+	if _, ok := mb.TryReceive(); !ok {
+		t.Fatal("3-hop chase failed")
+	}
+}
+
+func TestHopLimit(t *testing.T) {
+	// A ring of stale traces must not loop forever. Build s1 -> s2 -> s1.
+	r := newRig(t, "sa", "s1", "s2")
+	a := r.land(t, "a", "sa", "sa")
+	nid := id.MustNew("b", "s1", t0)
+	a.Book.Add(nid, "s1")
+	// Forge inconsistent traces: s1 says moved to s2, s2 says moved to s1.
+	r.mgrs["s1"].RecordArrival(nid, "cb", "x", t0)
+	r.mgrs["s1"].RecordDeparture(nid, "s2", t0)
+	r.mgrs["s2"].RecordArrival(nid, "cb", "s1", t0)
+	r.mgrs["s2"].RecordDeparture(nid, "s1", t0)
+
+	err := r.msgr["sa"].Post(context.Background(), a, nid, "x", nil)
+	if err == nil {
+		t.Fatal("forwarding loop must be bounded")
+	}
+}
+
+func TestEarlyMessageHeldAndDrained(t *testing.T) {
+	// §4.2 case 3: the message reaches sb before the naplet does.
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	nid := id.MustNew("b", "sb", t0)
+	a.Book.Add(nid, "sb")
+
+	if err := r.msgr["sa"].Post(context.Background(), a, nid, "early", []byte("waiting")); err != nil {
+		t.Fatal(err)
+	}
+	if r.msgr["sb"].HeldCount(nid) != 1 {
+		t.Fatal("message must be held in the special mailbox")
+	}
+	// The naplet lands: mailbox creation drains the special mailbox.
+	r.mgrs["sb"].RecordArrival(nid, "cb", "home", t0)
+	mb := r.msgr["sb"].CreateMailbox(nid)
+	msg, ok := mb.TryReceive()
+	if !ok || string(msg.Body) != "waiting" {
+		t.Fatalf("held message not drained: %v %v", msg, ok)
+	}
+	if r.msgr["sb"].HeldCount(nid) != 0 {
+		t.Fatal("special mailbox must be empty after drain")
+	}
+	s := r.msgr["sb"].Stats()
+	if s.Held != 1 || s.DrainedH != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestNapletEndedError(t *testing.T) {
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+	a.Book.Add(b.ID, "sb")
+	// b's life cycle ends at sb.
+	r.msgr["sb"].CloseMailbox(b.ID)
+	r.mgrs["sb"].RecordEnd(b.ID, t0)
+
+	err := r.msgr["sa"].Post(context.Background(), a, b.ID, "x", nil)
+	if err == nil {
+		t.Fatal("posting to an ended naplet must fail")
+	}
+}
+
+func TestSystemMessageCastsInterrupt(t *testing.T) {
+	r := newRig(t, "sa", "sb")
+	b := r.land(t, "b", "sb", "sb")
+	got := make(chan naplet.Message, 1)
+	r.msgr["sb"].SetInterruptSink(func(to id.NapletID, msg naplet.Message) bool {
+		if !to.Equal(b.ID) {
+			return false
+		}
+		got <- msg
+		return true
+	})
+	err := r.msgr["sa"].SendControl(context.Background(), b.ID, naplet.ControlSuspend, "sb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg.Control != naplet.ControlSuspend {
+			t.Fatalf("verb = %v", msg.Control)
+		}
+	default:
+		t.Fatal("interrupt not cast")
+	}
+	if r.msgr["sb"].Stats().Interrupts != 1 {
+		t.Fatalf("stats: %+v", r.msgr["sb"].Stats())
+	}
+}
+
+func TestSystemMessageWithoutSinkHeld(t *testing.T) {
+	r := newRig(t, "sa", "sb")
+	b := r.land(t, "b", "sb", "sb")
+	// No interrupt sink installed: control message is held, not lost.
+	if err := r.msgr["sa"].SendControl(context.Background(), b.ID, naplet.ControlTerminate, "sb"); err != nil {
+		t.Fatal(err)
+	}
+	if r.msgr["sb"].HeldCount(b.ID) != 1 {
+		t.Fatal("undeliverable control message must be held")
+	}
+}
+
+func TestLeftoverForwarding(t *testing.T) {
+	// Messages sitting in a mailbox when the naplet departs chase it.
+	r := newRig(t, "sa", "sb", "sc")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+	a.Book.Add(b.ID, "sb")
+
+	// Deliver two messages that b never reads at sb.
+	r.msgr["sa"].Post(context.Background(), a, b.ID, "m1", []byte("1"))
+	r.msgr["sa"].Post(context.Background(), a, b.ID, "m2", []byte("2"))
+
+	r.move(t, b, "sb", "sc") // move forwards leftovers
+
+	mb, _ := r.msgr["sc"].Mailbox(b.ID)
+	m1, ok1 := mb.TryReceive()
+	m2, ok2 := mb.TryReceive()
+	if !ok1 || !ok2 {
+		t.Fatalf("leftovers lost: %v %v", ok1, ok2)
+	}
+	if m1.Subject != "m1" || m2.Subject != "m2" {
+		t.Fatalf("order broken: %q %q", m1.Subject, m2.Subject)
+	}
+}
+
+func TestSelfServerShortCircuit(t *testing.T) {
+	r := newRig(t, "sa")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sa", "sa")
+	a.Book.Add(b.ID, "sa")
+	if err := r.msgr["sa"].Post(context.Background(), a, b.ID, "local", nil); err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := r.msgr["sa"].Mailbox(b.ID)
+	if _, ok := mb.TryReceive(); !ok {
+		t.Fatal("same-server delivery failed")
+	}
+	// No frames crossed the network.
+	if r.net.TotalStats().FramesSent != 0 {
+		t.Fatalf("local delivery used the network: %+v", r.net.TotalStats())
+	}
+}
+
+func TestMailboxReceiveBlocking(t *testing.T) {
+	mb := newMailbox()
+	done := make(chan naplet.Message, 1)
+	go func() {
+		msg, err := mb.Receive(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- msg
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.put(naplet.Message{Subject: "late"})
+	select {
+	case msg := <-done:
+		if msg.Subject != "late" {
+			t.Fatalf("msg = %+v", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Receive did not wake")
+	}
+}
+
+func TestMailboxReceiveCancel(t *testing.T) {
+	mb := newMailbox()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := mb.Receive(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxCloseUnblocks(t *testing.T) {
+	mb := newMailbox()
+	done := make(chan error, 1)
+	go func() {
+		_, err := mb.Receive(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrMailboxClosed) {
+			t.Fatalf("want ErrMailboxClosed, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock Receive")
+	}
+	// put after close is dropped (the caller forwards leftovers instead).
+	mb.put(naplet.Message{})
+	if mb.Len() != 0 {
+		t.Fatal("put after close must drop")
+	}
+}
+
+func TestViewAPI(t *testing.T) {
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+	a.Book.Add(b.ID, "sb")
+	b.Book.Add(a.ID, "sa")
+
+	mbA, _ := r.msgr["sa"].Mailbox(a.ID)
+	mbB, _ := r.msgr["sb"].Mailbox(b.ID)
+	va := NewView(r.msgr["sa"], a, mbA)
+	vb := NewView(r.msgr["sb"], b, mbB)
+
+	if err := va.Post(context.Background(), b.ID, "ping", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := vb.Receive(context.Background())
+	if err != nil || msg.Subject != "ping" {
+		t.Fatalf("Receive: %v %v", msg, err)
+	}
+	if err := vb.Post(context.Background(), a.ID, "pong", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := va.TryReceive(); !ok || msg.Subject != "pong" {
+		t.Fatalf("TryReceive: %v %v", msg, ok)
+	}
+	if _, ok := va.TryReceive(); ok {
+		t.Fatal("empty mailbox TryReceive must report false")
+	}
+}
+
+// Interface conformance.
+var _ naplet.MessengerAPI = (*View)(nil)
+var _ transport.Handler = (*Messenger)(nil).HandlePost

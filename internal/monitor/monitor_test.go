@@ -1,0 +1,427 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/naplet"
+)
+
+var t0 = time.Date(2001, 5, 12, 17, 27, 20, 0, time.UTC)
+
+func nid(t *testing.T, owner string) id.NapletID {
+	t.Helper()
+	return id.MustNew(owner, "home", t0)
+}
+
+func TestAdmitRunRemove(t *testing.T) {
+	m := New(0, nil)
+	g, err := m.Admit(nid(t, "a"), Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Resident() != 1 {
+		t.Fatal("resident count")
+	}
+	ran := false
+	if err := g.Run(func(ctx context.Context) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("Run must execute f")
+	}
+	m.Remove(g.ID())
+	if m.Resident() != 0 {
+		t.Fatal("resident after remove")
+	}
+	if g.State() != StateDone {
+		t.Fatalf("state = %v", g.State())
+	}
+	if _, err := m.Group(nid(t, "a")); !errors.Is(err, ErrUnknown) {
+		t.Fatal("removed group still known")
+	}
+}
+
+func TestAdmitDuplicate(t *testing.T) {
+	m := New(0, nil)
+	m.Admit(nid(t, "a"), Policy{})
+	if _, err := m.Admit(nid(t, "a"), Policy{}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestPanicTrapped(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	err := g.Run(func(ctx context.Context) error { panic("naplet bug") })
+	if err == nil {
+		t.Fatal("panic must surface as error")
+	}
+	if g.Usage().Traps != 1 {
+		t.Fatalf("traps = %d", g.Usage().Traps)
+	}
+}
+
+func TestCPUBudgetKills(t *testing.T) {
+	now := t0
+	clock := func() time.Time { return now }
+	m := New(0, clock)
+	g, _ := m.Admit(nid(t, "a"), Policy{MaxCPU: 10 * time.Millisecond})
+	err := g.Run(func(ctx context.Context) error {
+		now = now.Add(time.Second) // simulated heavy burn
+		return nil
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if g.State() != StateKilled {
+		t.Fatalf("state = %v", g.State())
+	}
+	// Further confined calls must fail.
+	if err := g.Run(func(ctx context.Context) error { return nil }); err == nil {
+		t.Fatal("killed group must refuse to run")
+	}
+}
+
+func TestMemoryAndBandwidthBudgets(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{MaxMemory: 100, MaxBandwidth: 50})
+	if err := g.ChargeMemory(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ChargeMemory(60); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("memory budget: %v", err)
+	}
+	g2, _ := m.Admit(nid(t, "b"), Policy{MaxBandwidth: 50})
+	if err := g2.ChargeBandwidth(51); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("bandwidth budget: %v", err)
+	}
+	if g2.State() != StateKilled {
+		t.Fatal("budget violation must kill")
+	}
+}
+
+func TestUnlimitedBudgets(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	if err := g.ChargeMemory(1 << 40); err != nil {
+		t.Fatal("zero limit means unlimited")
+	}
+	if err := g.ChargeCPU(time.Hour); err != nil {
+		t.Fatal("zero limit means unlimited")
+	}
+	u := g.Usage()
+	if u.Memory != 1<<40 || u.CPU != time.Hour {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestWallTimeLimit(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{MaxWallTime: 20 * time.Millisecond})
+	err := g.Run(func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	g.Suspend()
+	if g.State() != StateSuspended {
+		t.Fatal("state after suspend")
+	}
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		done <- g.Run(func(ctx context.Context) error { return nil })
+	}()
+	<-started
+	select {
+	case <-done:
+		t.Fatal("suspended group must not run")
+	case <-time.After(30 * time.Millisecond):
+	}
+	g.Resume()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != StateRunning {
+		t.Fatal("state after resume")
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g.Kill()
+	if err := g.Checkpoint(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("checkpoint after kill: %v", err)
+	}
+}
+
+func TestGoConfinedAndJoin(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	var ran atomic.Int32
+	for i := 0; i < 5; i++ {
+		g.Go(func(ctx context.Context) error { ran.Add(1); return nil })
+	}
+	g.Go(func(ctx context.Context) error { panic("aux bug") })
+	g.Join()
+	if ran.Load() != 5 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+	if g.Usage().Traps != 1 {
+		t.Fatalf("aux panic not trapped: %d", g.Usage().Traps)
+	}
+}
+
+func TestInterruptVerbs(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+
+	g.Interrupt(naplet.Message{Class: naplet.SystemMessage, Control: naplet.ControlSuspend})
+	if g.State() != StateSuspended {
+		t.Fatal("suspend verb")
+	}
+	g.Interrupt(naplet.Message{Class: naplet.SystemMessage, Control: naplet.ControlResume})
+	if g.State() != StateRunning {
+		t.Fatal("resume verb")
+	}
+	g.Interrupt(naplet.Message{Class: naplet.SystemMessage, Control: naplet.ControlTerminate})
+	if g.State() != StateKilled {
+		t.Fatal("terminate verb")
+	}
+}
+
+func TestInterruptHandlerInvoked(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	got := make(chan naplet.Message, 1)
+	g.SetInterruptHandler(func(msg naplet.Message) { got <- msg })
+	g.Interrupt(naplet.Message{Class: naplet.SystemMessage, Control: naplet.ControlCallback, Subject: "ping"})
+	select {
+	case msg := <-got:
+		if msg.Subject != "ping" {
+			t.Fatalf("msg = %+v", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("handler not invoked")
+	}
+	// Handler panic is trapped, not fatal.
+	g.SetInterruptHandler(func(msg naplet.Message) { panic("handler bug") })
+	g.Interrupt(naplet.Message{Class: naplet.SystemMessage, Control: naplet.ControlCallback})
+	g.Join()
+	if g.Usage().Traps != 1 {
+		t.Fatalf("traps = %d", g.Usage().Traps)
+	}
+	// Without a handler, custom verbs queue and deliver once a handler is
+	// installed (a control message can race the naplet's landing).
+	g.SetInterruptHandler(nil)
+	g.Interrupt(naplet.Message{Class: naplet.SystemMessage, Control: naplet.ControlCallback, Subject: "early"})
+	late := make(chan naplet.Message, 1)
+	g.SetInterruptHandler(func(msg naplet.Message) { late <- msg })
+	select {
+	case msg := <-late:
+		if msg.Subject != "early" {
+			t.Fatalf("queued interrupt = %+v", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued interrupt never delivered")
+	}
+}
+
+func TestSchedulerLimitsConcurrency(t *testing.T) {
+	m := New(2, nil)
+	var cur, max atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		g, err := m.Admit(nid(t, fmt.Sprintf("u%d", i)), Policy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Run(func(ctx context.Context) error {
+				c := cur.Add(1)
+				for {
+					old := max.Load()
+					if c <= old || max.CompareAndSwap(old, c) {
+						break
+					}
+				}
+				time.Sleep(10 * time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if max.Load() > 2 {
+		t.Fatalf("max concurrency = %d, want ≤ 2", max.Load())
+	}
+}
+
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct{ prio int }
+	grants := make(chan grant, 3)
+	var ready sync.WaitGroup
+	for _, prio := range []int{1, 9, 5} {
+		ready.Add(1)
+		go func(p int) {
+			ready.Done()
+			if err := s.Acquire(context.Background(), p); err != nil {
+				t.Error(err)
+				return
+			}
+			grants <- grant{prio: p}
+		}(prio)
+	}
+	ready.Wait()
+	time.Sleep(20 * time.Millisecond) // let all three enqueue
+
+	var order []int
+	for i := 0; i < 3; i++ {
+		s.Release()
+		g := <-grants
+		order = append(order, g.prio)
+	}
+	s.Release()
+	if order[0] != 9 || order[1] != 5 || order[2] != 1 {
+		t.Fatalf("grant order = %v, want [9 5 1]", order)
+	}
+}
+
+func TestSchedulerAcquireCancelled(t *testing.T) {
+	s := NewScheduler(1)
+	s.Acquire(context.Background(), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Acquire(ctx, 0) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	// The slot must still be usable.
+	s.Release()
+	if err := s.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Running() != 1 {
+		t.Fatalf("running = %d", s.Running())
+	}
+}
+
+func TestSchedulerUnlimited(t *testing.T) {
+	s := NewScheduler(0)
+	for i := 0; i < 100; i++ {
+		if err := s.Acquire(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Release() // no-op, must not underflow
+}
+
+func TestKillIdempotentAndStateTerminal(t *testing.T) {
+	m := New(0, nil)
+	g, _ := m.Admit(nid(t, "a"), Policy{})
+	g.Kill()
+	g.Kill()
+	if g.State() != StateKilled {
+		t.Fatal("state after double kill")
+	}
+	g.Suspend() // must not override terminal state
+	if g.State() != StateKilled {
+		t.Fatal("suspend after kill must be ignored")
+	}
+	g.Resume()
+	if g.State() != StateKilled {
+		t.Fatal("resume after kill must be ignored")
+	}
+}
+
+func TestGroupStateString(t *testing.T) {
+	names := map[GroupState]string{
+		StateRunning: "running", StateSuspended: "suspended",
+		StateKilled: "killed", StateDone: "done",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if GroupState(42).String() != "GroupState(42)" {
+		t.Fatal("unknown state formatting")
+	}
+}
+
+func TestSchedulerFIFOPolicyIgnoresPriority(t *testing.T) {
+	s := NewSchedulerWithPolicy(1, ScheduleFIFO)
+	if err := s.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	grants := make(chan int, 3)
+	for _, prio := range []int{1, 9, 5} {
+		p := prio
+		go func() {
+			if err := s.Acquire(context.Background(), p); err != nil {
+				t.Error(err)
+				return
+			}
+			grants <- p
+		}()
+		// Serialize arrival order so FIFO order is deterministic.
+		time.Sleep(20 * time.Millisecond)
+	}
+	var order []int
+	for i := 0; i < 3; i++ {
+		s.Release()
+		order = append(order, <-grants)
+	}
+	if order[0] != 1 || order[1] != 9 || order[2] != 5 {
+		t.Fatalf("FIFO grant order = %v, want arrival order [1 9 5]", order)
+	}
+}
+
+func TestSchedulingPolicyString(t *testing.T) {
+	if SchedulePriority.String() != "priority" || ScheduleFIFO.String() != "fifo" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestNewWithPolicyWiresScheduler(t *testing.T) {
+	m := NewWithPolicy(1, ScheduleFIFO, nil)
+	g, err := m.Admit(nid(t, "x"), Policy{Priority: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

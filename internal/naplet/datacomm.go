@@ -1,0 +1,45 @@
+package naplet
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// AllExchange is the paper's DataComm operator (§3, Example 2): "a generic
+// operator for collective communications between the naplets". The calling
+// naplet posts body to every peer in its address book, then receives one
+// message from each — an all-to-all exchange that synchronizes a clone
+// group between visits.
+//
+// When a Par itinerary forks, the runtime cross-populates each member's
+// address book with its siblings, so an itinerary post-action that calls
+// AllExchange works without any out-of-band setup. The received messages
+// are returned in arrival order.
+//
+// Peers may still be mid-flight when the posts go out; the post-office
+// holds or forwards as needed (§4.2), so the exchange is reliable as long
+// as every member of the group eventually performs it the same number of
+// times.
+func AllExchange(ctx *Context, subject string, body []byte) ([]Message, error) {
+	peers := ctx.AddressBook().Entries()
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	sendCtx, cancel := context.WithTimeout(ctx.Cancel, 60*time.Second)
+	defer cancel()
+	for _, peer := range peers {
+		if err := ctx.Messenger.Post(sendCtx, peer.NapletID, subject, body); err != nil {
+			return nil, fmt.Errorf("naplet: AllExchange post to %s: %w", peer.NapletID, err)
+		}
+	}
+	msgs := make([]Message, 0, len(peers))
+	for len(msgs) < len(peers) {
+		msg, err := ctx.Messenger.Receive(sendCtx)
+		if err != nil {
+			return msgs, fmt.Errorf("naplet: AllExchange receive (%d of %d): %w", len(msgs), len(peers), err)
+		}
+		msgs = append(msgs, msg)
+	}
+	return msgs, nil
+}

@@ -1,0 +1,77 @@
+package naplet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/id"
+)
+
+// MessageClass distinguishes the two message types of §2.2: "There are two
+// types of messages: System and User. System messages are used for naplet
+// control (e.g. callback, terminate, suspend, and resume); user messages
+// are for communicating data between naplets."
+type MessageClass int
+
+// Message classes.
+const (
+	// UserMessage carries application data between naplets; delivered to
+	// the target's mailbox.
+	UserMessage MessageClass = iota
+	// SystemMessage carries a control verb; the messenger casts an
+	// interrupt onto the running naplet's thread.
+	SystemMessage
+)
+
+// String returns the class name.
+func (c MessageClass) String() string {
+	switch c {
+	case UserMessage:
+		return "user"
+	case SystemMessage:
+		return "system"
+	default:
+		return fmt.Sprintf("MessageClass(%d)", int(c))
+	}
+}
+
+// ControlVerb enumerates the system-message controls named by the paper.
+type ControlVerb string
+
+// Control verbs (§2.2).
+const (
+	ControlCallback  ControlVerb = "callback"
+	ControlTerminate ControlVerb = "terminate"
+	ControlSuspend   ControlVerb = "suspend"
+	ControlResume    ControlVerb = "resume"
+)
+
+// Message is one inter-naplet (or owner-to-naplet) message.
+type Message struct {
+	// From identifies the sender; zero for owner/manager-originated
+	// control messages.
+	From id.NapletID
+	// To identifies the target naplet.
+	To id.NapletID
+	// Class is User or System.
+	Class MessageClass
+	// Control carries the verb of a system message.
+	Control ControlVerb
+	// Subject is a short application-defined tag.
+	Subject string
+	// Body is the opaque payload of a user message.
+	Body []byte
+	// SentAt is the send timestamp at the origin server.
+	SentAt time.Time
+}
+
+// IsSystem reports whether the message is a control message.
+func (m Message) IsSystem() bool { return m.Class == SystemMessage }
+
+// String summarizes the message for logs.
+func (m Message) String() string {
+	if m.IsSystem() {
+		return fmt.Sprintf("system[%s] %s -> %s", m.Control, m.From, m.To)
+	}
+	return fmt.Sprintf("user[%s] %s -> %s (%d bytes)", m.Subject, m.From, m.To, len(m.Body))
+}

@@ -1,0 +1,557 @@
+// Package navigator implements the Navigator of §2.2: the component that
+// performs naplet launch and migration.
+//
+// The migration protocol follows the paper:
+//
+//  1. The origin Navigator consults its NapletSecurityManager for a LAUNCH
+//     permission.
+//  2. It contacts the destination Navigator for a LANDING permission. The
+//     destination consults its own security manager (and resource
+//     admission), and — modelling lazy code loading — tells the origin
+//     whether it still needs the naplet's code bundle.
+//  3. The naplet record (and the code bundle, in push mode) transfers.
+//  4. The destination registers the ARRIVAL event (with the directory
+//     and/or the naplet's home manager) and only then starts execution:
+//     "We postpone the execution of the naplet until the arrival
+//     registration is acknowledged."
+//  5. The origin receives the acknowledgement, registers the DEPART event,
+//     and releases the resources occupied by the naplet.
+//
+// In pull mode the destination fetches the code bundle from the naplet's
+// home (the codebase URL's location) instead of receiving it from the
+// origin, reproducing the paper's on-demand class loading topology.
+package navigator
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/directory"
+	"repro/internal/id"
+	"repro/internal/manager"
+	"repro/internal/naplet"
+	"repro/internal/registry"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// CodeDelivery selects how code bundles reach a server that lacks them.
+type CodeDelivery int
+
+// Code delivery modes.
+const (
+	// Push: the origin attaches the bundle to the transfer when the
+	// destination reports a cold cache.
+	Push CodeDelivery = iota
+	// Pull: the destination fetches the bundle from the naplet's home
+	// after the transfer, before starting execution.
+	Pull
+)
+
+// String returns the mode name.
+func (c CodeDelivery) String() string {
+	if c == Pull {
+		return "pull"
+	}
+	return "push"
+}
+
+// LandingRequestBody asks the destination for a LANDING permission.
+type LandingRequestBody struct {
+	NapletID   id.NapletID
+	Credential cred.Credential
+	Codebase   string
+	StateSize  int
+}
+
+// LandingReplyBody grants or refuses landing.
+type LandingReplyBody struct {
+	Granted bool
+	// NeedCode asks the origin to attach the code bundle (push mode).
+	NeedCode bool
+	Reason   string
+}
+
+// TransferBody carries the serialized naplet and optionally its code.
+type TransferBody struct {
+	Record []byte
+	Code   []byte
+	// TransferID identifies the logical migration, stable across retries,
+	// so a retry after a lost acknowledgement does not land the naplet
+	// twice.
+	TransferID string
+}
+
+// TransferAckBody acknowledges a completed landing.
+type TransferAckBody struct {
+	Accepted bool
+	Reason   string
+}
+
+// CodeFetchBody requests a code bundle by name (pull mode).
+type CodeFetchBody struct {
+	Codebase string
+}
+
+// CodeBundleBody carries a code bundle.
+type CodeBundleBody struct {
+	Data []byte
+}
+
+// HomeEventBody reports an arrival or departure to the naplet's home
+// manager (the distributed directory of §4.1).
+type HomeEventBody struct {
+	NapletID id.NapletID
+	Server   string
+	Arrival  bool
+	At       time.Time
+}
+
+// Errors reported by the navigator.
+var (
+	ErrLandingDenied = errors.New("navigator: LANDING permission denied")
+	ErrLaunchDenied  = errors.New("navigator: LAUNCH permission denied")
+	ErrRejected      = errors.New("navigator: transfer rejected")
+)
+
+// Breakdown records where one dispatch spent its time, feeding the
+// migration-cost experiment (E7).
+type Breakdown struct {
+	Serialize   time.Duration
+	Negotiation time.Duration
+	Transfer    time.Duration
+	Total       time.Duration
+	// RecordBytes and CodeBytes are the transferred sizes.
+	RecordBytes int
+	CodeBytes   int
+}
+
+// Stats counts navigator activity.
+type Stats struct {
+	Dispatched  int64
+	Landed      int64
+	Refused     int64
+	CodePushed  int64
+	CodePulled  int64
+	CodeServed  int64
+	HomeReports int64
+}
+
+// LandFunc receives an accepted naplet for execution; the server's visit
+// engine. It runs on its own goroutine.
+type LandFunc func(rec *naplet.Record, source string)
+
+// AdmitFunc lets the resource manager veto landings (capacity, load).
+type AdmitFunc func(req LandingRequestBody) error
+
+// Config parameterizes a navigator.
+type Config struct {
+	// CodeDelivery selects push or pull bundle transport.
+	CodeDelivery CodeDelivery
+	// DirectoryAddr, when set, receives ARRIVAL/DEPART registrations.
+	DirectoryAddr string
+	// ReportHome, when set, sends arrival/departure events to each
+	// naplet's home manager (distributed directory mode).
+	ReportHome bool
+	// CallTimeout bounds each protocol call (default 30s).
+	CallTimeout time.Duration
+}
+
+// Navigator is the per-server migration component.
+type Navigator struct {
+	cfg    Config
+	server string
+	node   transport.Node
+	sec    *security.Manager
+	mgr    *manager.Manager
+	reg    *registry.Registry
+	cache  *registry.Cache
+	clock  func() time.Time
+
+	onLand LandFunc
+	admit  AdmitFunc
+
+	tidSeq     atomic.Uint64
+	acceptedMu sync.Mutex
+	accepted   map[string]string // naplet key -> last accepted transfer ID
+
+	dispatched  atomic.Int64
+	landed      atomic.Int64
+	refused     atomic.Int64
+	codePushed  atomic.Int64
+	codePulled  atomic.Int64
+	codeServed  atomic.Int64
+	homeReports atomic.Int64
+}
+
+// New builds a navigator. sec may be nil (no permission checks); cache must
+// be non-nil; nil clock means time.Now.
+func New(cfg Config, server string, node transport.Node, sec *security.Manager, mgr *manager.Manager, reg *registry.Registry, cache *registry.Cache, clock func() time.Time) *Navigator {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Navigator{
+		cfg:      cfg,
+		server:   server,
+		node:     node,
+		sec:      sec,
+		mgr:      mgr,
+		reg:      reg,
+		cache:    cache,
+		clock:    clock,
+		accepted: make(map[string]string),
+	}
+}
+
+// NewTransferID mints an identifier for one logical migration; callers
+// that retry a Dispatch reuse the same ID so the destination can
+// deduplicate replayed transfers.
+func (n *Navigator) NewTransferID() string {
+	return fmt.Sprintf("%s/%d", n.server, n.tidSeq.Add(1))
+}
+
+// SetLandFunc installs the execution engine invoked for accepted naplets.
+func (n *Navigator) SetLandFunc(f LandFunc) { n.onLand = f }
+
+// SetAdmitFunc installs the resource-admission veto.
+func (n *Navigator) SetAdmitFunc(f AdmitFunc) { n.admit = f }
+
+// Stats returns activity counters.
+func (n *Navigator) Stats() Stats {
+	return Stats{
+		Dispatched:  n.dispatched.Load(),
+		Landed:      n.landed.Load(),
+		Refused:     n.refused.Load(),
+		CodePushed:  n.codePushed.Load(),
+		CodePulled:  n.codePulled.Load(),
+		CodeServed:  n.codeServed.Load(),
+		HomeReports: n.homeReports.Load(),
+	}
+}
+
+// EncodeRecord serializes a naplet record for transfer.
+func EncodeRecord(rec *naplet.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("navigator: encode record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRecord reverses EncodeRecord.
+func DecodeRecord(data []byte) (*naplet.Record, error) {
+	rec := new(naplet.Record)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(rec); err != nil {
+		return nil, fmt.Errorf("navigator: decode record: %w", err)
+	}
+	return rec, nil
+}
+
+// ---- Origin side ----
+
+// Dispatch migrates a resident naplet to dest, following the paper's
+// protocol. On success the origin's manager has recorded the departure and
+// the directory/home have been notified; the caller releases local
+// resources (mailbox, monitor group). The returned Breakdown reports the
+// migration cost components.
+func (n *Navigator) Dispatch(ctx context.Context, rec *naplet.Record, dest string) (Breakdown, error) {
+	return n.DispatchID(ctx, rec, dest, n.NewTransferID())
+}
+
+// DispatchID is Dispatch with a caller-supplied transfer ID; retries of
+// the same logical migration must reuse the ID.
+func (n *Navigator) DispatchID(ctx context.Context, rec *naplet.Record, dest, transferID string) (Breakdown, error) {
+	var bd Breakdown
+	start := n.clock()
+
+	// 1. LAUNCH permission at the origin.
+	if n.sec != nil {
+		if err := n.sec.CheckLaunch(&rec.Credential); err != nil {
+			return bd, fmt.Errorf("%w: %v", ErrLaunchDenied, err)
+		}
+	}
+
+	// Serialize early so the landing request can carry the true size.
+	serStart := n.clock()
+	recordBytes, err := EncodeRecord(rec)
+	if err != nil {
+		return bd, err
+	}
+	bd.Serialize = n.clock().Sub(serStart)
+	bd.RecordBytes = len(recordBytes)
+
+	// 2. LANDING permission at the destination.
+	negStart := n.clock()
+	req := LandingRequestBody{
+		NapletID:   rec.ID,
+		Credential: rec.Credential,
+		Codebase:   rec.Codebase,
+		StateSize:  len(recordBytes),
+	}
+	f, err := wire.NewFrame(wire.KindLandingRequest, "", "", &req)
+	if err != nil {
+		return bd, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+	reply, err := n.node.Call(cctx, dest, f)
+	cancel()
+	if err != nil {
+		return bd, fmt.Errorf("navigator: landing request to %s: %w", dest, err)
+	}
+	var landing LandingReplyBody
+	if err := reply.Body(&landing); err != nil {
+		return bd, err
+	}
+	bd.Negotiation = n.clock().Sub(negStart)
+	if !landing.Granted {
+		return bd, fmt.Errorf("%w by %s: %s", ErrLandingDenied, dest, landing.Reason)
+	}
+
+	// 3. Transfer, attaching code in push mode when the destination needs
+	// it.
+	transfer := TransferBody{Record: recordBytes, TransferID: transferID}
+	if landing.NeedCode && n.cfg.CodeDelivery == Push {
+		bundle, err := n.reg.Bundle(rec.Codebase)
+		if err != nil {
+			return bd, err
+		}
+		transfer.Code = bundle
+		bd.CodeBytes = len(bundle)
+		n.codePushed.Add(1)
+	}
+	trStart := n.clock()
+	tf, err := wire.NewFrame(wire.KindNapletTransfer, "", "", &transfer)
+	if err != nil {
+		return bd, err
+	}
+	// Register the DEPART event before the transfer so the destination's
+	// ARRIVAL registration is always the newer record: this preserves the
+	// paper's invariant that the directory holds current information
+	// (§4.1 — if the latest entry is a departure the naplet is in transit,
+	// if an arrival it is at that server).
+	departAt := n.clock()
+	n.RegisterEvent(ctx, rec, directory.Departure, n.server, departAt)
+	cctx, cancel = context.WithTimeout(ctx, n.cfg.CallTimeout)
+	ackReply, err := n.node.Call(cctx, dest, tf)
+	cancel()
+	if err == nil {
+		var ack TransferAckBody
+		if derr := ackReply.Body(&ack); derr != nil {
+			err = derr
+		} else if !ack.Accepted {
+			err = fmt.Errorf("%w by %s: %s", ErrRejected, dest, ack.Reason)
+		}
+	} else {
+		err = fmt.Errorf("navigator: transfer to %s: %w", dest, err)
+	}
+	if err != nil {
+		// The naplet never left: correct the directory with a fresh
+		// arrival at this server.
+		n.RegisterEvent(ctx, rec, directory.Arrival, n.server, n.clock())
+		return bd, err
+	}
+	bd.Transfer = n.clock().Sub(trStart)
+
+	// 5. Success: record the departure locally and release.
+	now := n.clock()
+	if n.mgr != nil {
+		_ = n.mgr.RecordDeparture(rec.ID, dest, now)
+	}
+	rec.Log.RecordDeparture(n.server, now)
+	n.dispatched.Add(1)
+	bd.Total = n.clock().Sub(start)
+	return bd, nil
+}
+
+// RegisterEvent reports an arrival/departure to the directory and/or the
+// naplet's home manager, best effort. It is exported so the server can
+// register launch-time arrivals and clone births.
+func (n *Navigator) RegisterEvent(ctx context.Context, rec *naplet.Record, ev directory.Event, server string, at time.Time) {
+	if n.cfg.DirectoryAddr != "" {
+		client := directory.NewClient(n.node, n.cfg.DirectoryAddr)
+		cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+		_ = client.Register(cctx, rec.ID, ev, server, at)
+		cancel()
+	}
+	if n.cfg.ReportHome && rec.Home != n.server {
+		body := HomeEventBody{
+			NapletID: rec.ID,
+			Server:   server,
+			Arrival:  ev == directory.Arrival,
+			At:       at,
+		}
+		if f, err := wire.NewFrame(wire.KindHomeEvent, "", "", &body); err == nil {
+			cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+			_, _ = n.node.Call(cctx, rec.Home, f)
+			cancel()
+			n.homeReports.Add(1)
+		}
+	}
+	if n.cfg.ReportHome && rec.Home == n.server && n.mgr != nil {
+		n.mgr.HomeRecord(rec.ID, server, ev == directory.Arrival, at)
+	}
+}
+
+// ---- Destination side ----
+
+// HandleLandingRequest answers a KindLandingRequest frame.
+func (n *Navigator) HandleLandingRequest(from string, f wire.Frame) (wire.Frame, error) {
+	var req LandingRequestBody
+	if err := f.Body(&req); err != nil {
+		return wire.Frame{}, err
+	}
+	reply := LandingReplyBody{}
+	if n.sec != nil {
+		if err := n.sec.CheckLanding(&req.Credential); err != nil {
+			n.refused.Add(1)
+			reply.Reason = err.Error()
+			return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
+		}
+	}
+	if n.admit != nil {
+		if err := n.admit(req); err != nil {
+			n.refused.Add(1)
+			reply.Reason = err.Error()
+			return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
+		}
+	}
+	reply.Granted = true
+	reply.NeedCode = !n.cache.Has(req.Codebase)
+	return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
+}
+
+// HandleTransfer answers a KindNapletTransfer frame: it decodes the
+// naplet, completes code loading, registers the arrival (synchronously,
+// before execution), and hands the naplet to the visit engine.
+func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error) {
+	var transfer TransferBody
+	if err := f.Body(&transfer); err != nil {
+		return wire.Frame{}, err
+	}
+	rec, err := DecodeRecord(transfer.Record)
+	if err != nil {
+		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+	}
+	// Deduplicate replayed transfers: if the acknowledgement of a landing
+	// was lost, the origin retries with the same transfer ID; the naplet
+	// already landed, so just re-acknowledge.
+	if transfer.TransferID != "" {
+		n.acceptedMu.Lock()
+		dup := n.accepted[rec.ID.Key()] == transfer.TransferID
+		n.acceptedMu.Unlock()
+		if dup {
+			return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true})
+		}
+	}
+	// Re-verify the credential on the actual record: the landing request
+	// is not trusted to match the transfer.
+	if n.sec != nil {
+		if err := n.sec.CheckLanding(&rec.Credential); err != nil {
+			n.refused.Add(1)
+			return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+		}
+	}
+	if !rec.Credential.NapletID.Equal(rec.ID) {
+		n.refused.Add(1)
+		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: "credential does not certify this naplet"})
+	}
+
+	// Lazy code loading.
+	if len(transfer.Code) > 0 {
+		n.cache.Loaded(rec.Codebase, len(transfer.Code))
+	} else if !n.cache.Has(rec.Codebase) {
+		if n.cfg.CodeDelivery == Pull {
+			if err := n.pullCode(rec); err != nil {
+				return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+			}
+		} else {
+			// Push mode but the origin sent no code (cache raced or origin
+			// skipped it): fall back to the local registry, charging a
+			// local load.
+			bundle, err := n.reg.Bundle(rec.Codebase)
+			if err != nil {
+				return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+			}
+			n.cache.Loaded(rec.Codebase, len(bundle))
+		}
+	}
+
+	// Arrival bookkeeping, then registration, then execution.
+	now := n.clock()
+	if n.mgr != nil {
+		n.mgr.RecordArrival(rec.ID, rec.Codebase, from, now)
+	}
+	rec.Log.RecordArrival(n.server, now)
+	n.RegisterEvent(context.Background(), rec, directory.Arrival, n.server, now)
+	n.landed.Add(1)
+	if transfer.TransferID != "" {
+		n.acceptedMu.Lock()
+		n.accepted[rec.ID.Key()] = transfer.TransferID
+		n.acceptedMu.Unlock()
+	}
+
+	if n.onLand != nil {
+		go n.onLand(rec, from)
+	}
+	return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true})
+}
+
+// pullCode fetches the bundle from the naplet's home server.
+func (n *Navigator) pullCode(rec *naplet.Record) error {
+	body := CodeFetchBody{Codebase: rec.Codebase}
+	f, err := wire.NewFrame(wire.KindCodeFetch, "", "", &body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	reply, err := n.node.Call(ctx, rec.Home, f)
+	if err != nil {
+		return fmt.Errorf("navigator: code fetch from %s: %w", rec.Home, err)
+	}
+	var bundle CodeBundleBody
+	if err := reply.Body(&bundle); err != nil {
+		return err
+	}
+	n.cache.Loaded(rec.Codebase, len(bundle.Data))
+	n.codePulled.Add(1)
+	return nil
+}
+
+// HandleCodeFetch serves a code bundle to a server with a cold cache.
+func (n *Navigator) HandleCodeFetch(from string, f wire.Frame) (wire.Frame, error) {
+	var req CodeFetchBody
+	if err := f.Body(&req); err != nil {
+		return wire.Frame{}, err
+	}
+	data, err := n.reg.Bundle(req.Codebase)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	n.codeServed.Add(1)
+	return wire.NewFrame(wire.KindCodeBundle, f.To, f.From, &CodeBundleBody{Data: data})
+}
+
+// HandleHomeEvent records a remote arrival/departure report for a naplet
+// homed at this server.
+func (n *Navigator) HandleHomeEvent(from string, f wire.Frame) (wire.Frame, error) {
+	var body HomeEventBody
+	if err := f.Body(&body); err != nil {
+		return wire.Frame{}, err
+	}
+	if n.mgr != nil {
+		n.mgr.HomeRecord(body.NapletID, body.Server, body.Arrival, body.At)
+	}
+	return wire.NewFrame(wire.KindControlReply, f.To, f.From, &struct{ OK bool }{true})
+}

@@ -1,0 +1,366 @@
+// Package resource implements the ResourceManager of §2.2 and §5.3: the
+// component that makes host resources available to alien naplets in a
+// controlled manner.
+//
+// Services run in one of two protection modes:
+//
+//   - Non-privileged (open) services, "like routines in math libraries, are
+//     registered in the ResourceManager as open services and can be called
+//     via their handlers".
+//   - Privileged services "must be accessed via ServiceChannel objects".
+//     A service channel is a synchronous pipe: the server assigns one pair
+//     of endpoints (ServiceReader/ServiceWriter) to the service and leaves
+//     the other pair (NapletReader/NapletWriter) to the naplet. The
+//     ResourceManager creates channels on request and applies
+//     naplet-specific access control, based on naplet credentials, in the
+//     allocation of service channels.
+//
+// The mechanism/policy separation is explicit: the manager implements
+// allocation; which naplets may open which channels is decided by the
+// pluggable security manager.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cred"
+	"repro/internal/naplet"
+	"repro/internal/security"
+)
+
+// OpenService is a non-privileged service: a plain function callable by
+// handler.
+type OpenService func(args []string) (string, error)
+
+// PrivilegedService is the paper's PrivilegedService base class: a run loop
+// that reads request lines from its ServiceReader and writes reply lines to
+// its ServiceWriter until the channel closes.
+type PrivilegedService interface {
+	Serve(ch *ServerEnd)
+}
+
+// ServiceFunc adapts a function to PrivilegedService.
+type ServiceFunc func(ch *ServerEnd)
+
+// Serve implements PrivilegedService.
+func (f ServiceFunc) Serve(ch *ServerEnd) { f(ch) }
+
+// Factory creates a fresh privileged-service instance per channel, so
+// stateful run loops are isolated between naplets.
+type Factory func() PrivilegedService
+
+// Errors reported by the resource manager.
+var (
+	ErrUnknownService = errors.New("resource: unknown service")
+	ErrChannelClosed  = errors.New("resource: service channel closed")
+	ErrDuplicate      = errors.New("resource: service already registered")
+)
+
+// halfPipe is one direction of a service channel: an unbounded FIFO of
+// lines with close semantics. Writes after close fail; reads drain buffered
+// lines and then report io.EOF.
+type halfPipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  []string
+	closed bool
+}
+
+func newHalfPipe() *halfPipe {
+	p := &halfPipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *halfPipe) write(line string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrChannelClosed
+	}
+	p.lines = append(p.lines, line)
+	p.cond.Signal()
+	return nil
+}
+
+func (p *halfPipe) read() (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.lines) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.lines) == 0 {
+		return "", io.EOF
+	}
+	line := p.lines[0]
+	p.lines = p.lines[1:]
+	return line, nil
+}
+
+func (p *halfPipe) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+}
+
+// channel is one allocated service channel: two half pipes.
+type channel struct {
+	toService *halfPipe // naplet writes -> service reads
+	toNaplet  *halfPipe // service writes -> naplet reads
+	closeOnce sync.Once
+}
+
+func (c *channel) close() {
+	c.closeOnce.Do(func() {
+		c.toService.close()
+		c.toNaplet.close()
+	})
+}
+
+// NapletEnd is the naplet-side endpoint pair (NapletWriter + NapletReader).
+// It implements naplet.ServiceChannel.
+type NapletEnd struct {
+	ch *channel
+	// bytes counts naplet-side channel traffic for resource accounting.
+	bytes *atomic.Int64
+}
+
+// WriteLine sends a request line to the privileged service (NapletWriter).
+func (e *NapletEnd) WriteLine(line string) error {
+	if e.bytes != nil {
+		e.bytes.Add(int64(len(line)))
+	}
+	return e.ch.toService.write(line)
+}
+
+// ReadLine receives a reply line from the service (NapletReader). It
+// returns io.EOF after the channel closes and drains.
+func (e *NapletEnd) ReadLine() (string, error) {
+	line, err := e.ch.toNaplet.read()
+	if err == nil && e.bytes != nil {
+		e.bytes.Add(int64(len(line)))
+	}
+	return line, err
+}
+
+// Close releases the channel; the service's Serve loop observes EOF.
+func (e *NapletEnd) Close() error {
+	e.ch.close()
+	return nil
+}
+
+// ServerEnd is the service-side endpoint pair (ServiceReader +
+// ServiceWriter).
+type ServerEnd struct {
+	ch *channel
+	// Naplet identifies the client naplet, so services can apply
+	// naplet-specific behaviour or auditing.
+	Naplet cred.Credential
+}
+
+// ReadLine receives a request line from the naplet (ServiceReader);
+// io.EOF after close.
+func (e *ServerEnd) ReadLine() (string, error) { return e.ch.toService.read() }
+
+// WriteLine sends a reply line to the naplet (ServiceWriter).
+func (e *ServerEnd) WriteLine(line string) error { return e.ch.toNaplet.write(line) }
+
+// Close releases the channel from the service side.
+func (e *ServerEnd) Close() error {
+	e.ch.close()
+	return nil
+}
+
+// Stats counts resource-manager activity.
+type Stats struct {
+	OpenCalls      int64
+	ChannelsOpened int64
+	ChannelsDenied int64
+}
+
+// Manager is the per-server ResourceManager. It is safe for concurrent use
+// and supports dynamic (re)configuration of services ("the service channel
+// mechanism enables dynamic installation and re-configuration of
+// application services", §5.3).
+type Manager struct {
+	security *security.Manager
+
+	mu   sync.RWMutex
+	open map[string]OpenService
+	priv map[string]Factory
+
+	openCalls      atomic.Int64
+	channelsOpened atomic.Int64
+	channelsDenied atomic.Int64
+}
+
+// NewManager builds a resource manager enforcing access control with sec
+// (nil means no checks, the promiscuous testbed configuration).
+func NewManager(sec *security.Manager) *Manager {
+	return &Manager{
+		security: sec,
+		open:     make(map[string]OpenService),
+		priv:     make(map[string]Factory),
+	}
+}
+
+// RegisterOpen installs a non-privileged service under name.
+func (m *Manager) RegisterOpen(name string, f OpenService) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.open[name]; dup {
+		return fmt.Errorf("%w: open service %q", ErrDuplicate, name)
+	}
+	m.open[name] = f
+	return nil
+}
+
+// RegisterPrivileged installs a privileged service factory under name.
+// Naplets reach it only through service channels.
+func (m *Manager) RegisterPrivileged(name string, f Factory) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.priv[name]; dup {
+		return fmt.Errorf("%w: privileged service %q", ErrDuplicate, name)
+	}
+	m.priv[name] = f
+	return nil
+}
+
+// Deregister removes a service of either kind (dynamic re-configuration).
+func (m *Manager) Deregister(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.open, name)
+	delete(m.priv, name)
+}
+
+// CallOpen invokes an open service by handler.
+func (m *Manager) CallOpen(name string, args []string) (string, error) {
+	m.mu.RLock()
+	f, ok := m.open[name]
+	m.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: open service %q", ErrUnknownService, name)
+	}
+	m.openCalls.Add(1)
+	return f(args)
+}
+
+// OpenChannel allocates a service channel between the naplet identified by
+// c and the named privileged service, enforcing the security policy. The
+// service's Serve loop runs in its own goroutine; the returned naplet end
+// is handed to the requesting naplet.
+func (m *Manager) OpenChannel(c *cred.Credential, name string) (naplet.ServiceChannel, error) {
+	m.mu.RLock()
+	factory, ok := m.priv[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: privileged service %q", ErrUnknownService, name)
+	}
+	if m.security != nil {
+		if err := m.security.CheckService(c, name); err != nil {
+			m.channelsDenied.Add(1)
+			return nil, err
+		}
+	}
+	ch := &channel{toService: newHalfPipe(), toNaplet: newHalfPipe()}
+	server := &ServerEnd{ch: ch}
+	if c != nil {
+		server.Naplet = *c
+	}
+	svc := factory()
+	go func() {
+		defer ch.close()
+		svc.Serve(server)
+	}()
+	m.channelsOpened.Add(1)
+	return &NapletEnd{ch: ch}, nil
+}
+
+// PrivilegedNames lists registered privileged services, sorted.
+func (m *Manager) PrivilegedNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.priv))
+	for n := range m.priv {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenNames lists registered open services, sorted.
+func (m *Manager) OpenNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.open))
+	for n := range m.open {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns activity counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		OpenCalls:      m.openCalls.Load(),
+		ChannelsOpened: m.channelsOpened.Load(),
+		ChannelsDenied: m.channelsDenied.Load(),
+	}
+}
+
+// View binds the resource manager to one naplet's credential, implementing
+// naplet.ServicesAPI. It tracks the channels the naplet opened so the
+// runtime can reclaim them when the visit ends ("success of a launch will
+// release all the resources occupied by the naplet", §2.2).
+type View struct {
+	mgr  *Manager
+	cred *cred.Credential
+
+	mu       sync.Mutex
+	channels []naplet.ServiceChannel
+}
+
+// NewView builds the per-naplet service surface.
+func NewView(mgr *Manager, c *cred.Credential) *View {
+	return &View{mgr: mgr, cred: c}
+}
+
+// CallOpen implements naplet.ServicesAPI.
+func (v *View) CallOpen(name string, args []string) (string, error) {
+	return v.mgr.CallOpen(name, args)
+}
+
+// OpenChannel implements naplet.ServicesAPI.
+func (v *View) OpenChannel(name string) (naplet.ServiceChannel, error) {
+	ch, err := v.mgr.OpenChannel(v.cred, name)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	v.channels = append(v.channels, ch)
+	v.mu.Unlock()
+	return ch, nil
+}
+
+// Channels implements naplet.ServicesAPI.
+func (v *View) Channels() []string { return v.mgr.PrivilegedNames() }
+
+// ReleaseAll closes every channel the naplet opened during the visit.
+func (v *View) ReleaseAll() {
+	v.mu.Lock()
+	chans := v.channels
+	v.channels = nil
+	v.mu.Unlock()
+	for _, ch := range chans {
+		ch.Close()
+	}
+}

@@ -1,0 +1,494 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/directory"
+	"repro/internal/id"
+	"repro/internal/itinerary"
+	"repro/internal/manager"
+	"repro/internal/messenger"
+	"repro/internal/monitor"
+	"repro/internal/naplet"
+	"repro/internal/navigator"
+	"repro/internal/resource"
+	"repro/internal/state"
+	"repro/internal/wire"
+)
+
+// LaunchOptions parameterize a naplet launch through this server's
+// NapletManager ("Each naplet is launched through its home NapletManager",
+// §2.2).
+type LaunchOptions struct {
+	// Owner is the launching principal; with a key ring configured, the
+	// owner's signing key must be registered.
+	Owner string
+	// Codebase names the agent behaviour in the registry.
+	Codebase string
+	// Pattern is the itinerary to follow.
+	Pattern *itinerary.Pattern
+	// Roles are carried in the credential for policy decisions.
+	Roles []string
+	// Listener receives the naplet's reports (may be nil).
+	Listener manager.Listener
+	// InitState seeds the naplet's state container (may be nil).
+	InitState func(*state.State) error
+	// MonitorPolicy overrides the server's default resource policy.
+	MonitorPolicy *monitor.Policy
+	// TTL bounds credential validity; 0 means no expiry.
+	TTL time.Duration
+}
+
+// Launch creates and launches a naplet. The first itinerary decision is
+// taken at this home server: a first visit elsewhere dispatches
+// immediately, a first visit here executes here.
+func (s *Server) Launch(ctx context.Context, opts LaunchOptions) (id.NapletID, error) {
+	if opts.Owner == "" || opts.Codebase == "" {
+		return id.NapletID{}, fmt.Errorf("server: launch needs owner and codebase")
+	}
+	if _, err := s.reg.Lookup(opts.Codebase); err != nil {
+		return id.NapletID{}, err
+	}
+	itin, err := itinerary.New(opts.Pattern)
+	if err != nil {
+		return id.NapletID{}, err
+	}
+	nid, err := s.mintID(opts.Owner)
+	if err != nil {
+		return id.NapletID{}, err
+	}
+
+	credential := cred.Credential{NapletID: nid, Codebase: opts.Codebase, Roles: opts.Roles}
+	if s.cfg.KeyRing != nil {
+		var expires time.Time
+		if opts.TTL > 0 {
+			expires = s.clock().Add(opts.TTL)
+		}
+		credential, err = s.cfg.KeyRing.Issue(nid, opts.Codebase, opts.Roles, s.clock(), expires)
+		if err != nil {
+			return id.NapletID{}, err
+		}
+	}
+
+	rec := naplet.NewRecord(nid, credential, opts.Codebase, s.name, itin)
+	if opts.InitState != nil {
+		if err := opts.InitState(rec.State); err != nil {
+			return id.NapletID{}, err
+		}
+	}
+
+	now := s.clock()
+	s.mgr.RecordLaunch(nid, opts.Listener)
+	s.mgr.RecordArrival(nid, opts.Codebase, "origin", now)
+	rec.Log.RecordArrival(s.name, now)
+	s.nav.RegisterEvent(ctx, rec, directory.Arrival, s.name, now)
+	s.msgr.CreateMailbox(nid)
+	s.mgr.SetStatus(nid, manager.StatusRunning, "")
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.lifecycle(rec, false, opts.MonitorPolicy)
+	}()
+	return nid, nil
+}
+
+// launchFromControl serves a remote "launch" management request: the route
+// arrives in the paper's operator notation and the state seeds as plain
+// strings.
+func (s *Server) launchFromControl(body ControlBody) (id.NapletID, error) {
+	pattern, err := itinerary.Parse(body.Route)
+	if err != nil {
+		return id.NapletID{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Launch(ctx, LaunchOptions{
+		Owner:    body.Owner,
+		Codebase: body.Codebase,
+		Pattern:  pattern,
+		InitState: func(st *state.State) error {
+			if len(body.Params) > 0 {
+				if err := st.SetPrivate("man.params", body.Params); err != nil {
+					return err
+				}
+			}
+			for k, v := range body.StateKV {
+				if err := st.SetPrivate(k, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// land is the navigator's LandFunc: an accepted naplet starts its visit
+// here. Residency bookkeeping (manager arrival, navigation log, directory
+// registration) already happened inside HandleTransfer, before the ack.
+func (s *Server) land(rec *naplet.Record, source string) {
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.lifecycle(rec, true, nil)
+}
+
+// lifecycle drives a resident naplet: optionally perform the pending
+// arrival visit, then advance the itinerary until the naplet departs,
+// completes, or traps.
+func (s *Server) lifecycle(rec *naplet.Record, arrived bool, polOverride *monitor.Policy) {
+	policy := s.cfg.MonitorPolicy
+	if polOverride != nil {
+		policy = *polOverride
+	}
+	g, err := s.mon.Admit(rec.ID, policy)
+	if err != nil {
+		s.trap(rec, fmt.Errorf("admit: %w", err))
+		return
+	}
+	mb := s.msgr.CreateMailbox(rec.ID)
+
+	behavior, err := s.reg.Instantiate(rec.Codebase)
+	if err != nil {
+		s.trap(rec, err)
+		s.cleanup(rec, true)
+		return
+	}
+
+	nctx := &naplet.Context{
+		Server:    s.name,
+		Record:    rec,
+		Messenger: &meteredMessenger{inner: messenger.NewView(s.msgr, rec, mb), group: g},
+		Services:  resource.NewView(s.res, &rec.Credential),
+		Listener:  &listenerProxy{server: s, rec: rec},
+		Clock:     naplet.ClockFunc(s.clock),
+	}
+	defer nctx.Services.(*resource.View).ReleaseAll()
+
+	// Custom interrupt verbs reach the behaviour's OnInterrupt hook;
+	// terminate/suspend/resume act inside the monitor.
+	if intr, ok := behavior.(naplet.Interruptible); ok {
+		g.SetInterruptHandler(func(msg naplet.Message) {
+			_ = intr.OnInterrupt(nctx, msg)
+		})
+	}
+
+	if arrived {
+		if err := s.performVisit(g, nctx, behavior, rec.Pending); err != nil {
+			s.trap(rec, err)
+			s.cleanup(rec, true)
+			return
+		}
+		rec.Pending = itinerary.Visit{}
+	}
+
+	s.advance(g, nctx, behavior, rec)
+}
+
+// advance consumes itinerary decisions until departure or completion.
+func (s *Server) advance(g *monitor.Group, nctx *naplet.Context, behavior naplet.Behavior, rec *naplet.Record) {
+	ev := s.reg.EvaluatorFor(rec.Codebase, nctx)
+	for {
+		// Cooperative preemption point: a suspended naplet pauses here
+		// between visits (and before departing); a terminated one traps.
+		if err := g.Checkpoint(); err != nil {
+			s.trap(rec, err)
+			s.cleanup(rec, true)
+			return
+		}
+		d, err := rec.Itin.Next(ev)
+		if err != nil {
+			s.trap(rec, err)
+			s.cleanup(rec, true)
+			return
+		}
+		switch d.Kind {
+		case itinerary.DecisionDone:
+			if dst, ok := behavior.(naplet.Destroyable); ok {
+				dst.OnDestroy(nctx)
+			}
+			// Release residency before telling the owner: when WaitDone
+			// returns, the footprints and traces are already final.
+			s.cleanup(rec, true)
+			s.reportStatus(rec, manager.StatusCompleted, "")
+			return
+
+		case itinerary.DecisionFork:
+			if err := s.forkAll(rec, d.Branches); err != nil {
+				s.trap(rec, fmt.Errorf("fork: %w", err))
+				s.cleanup(rec, true)
+				return
+			}
+
+		case itinerary.DecisionVisit:
+			if d.Visit.Server == s.name {
+				// Revisit of the current server: perform it in place.
+				if err := s.performVisit(g, nctx, behavior, d.Visit); err != nil {
+					s.trap(rec, err)
+					s.cleanup(rec, true)
+					return
+				}
+				continue
+			}
+			if stop, ok := behavior.(naplet.Stoppable); ok {
+				stop.OnStop(nctx)
+			}
+			rec.Pending = d.Visit
+			if err := s.dispatchWithRetry(rec, d.Visit.Server); err != nil {
+				s.trap(rec, fmt.Errorf("dispatch to %s: %w", d.Visit.Server, err))
+				s.cleanup(rec, true)
+				return
+			}
+			// Departed: forward mailbox leftovers and release residency.
+			left := s.msgr.CloseMailbox(rec.ID)
+			if len(left) > 0 {
+				fctx, fcancel := context.WithTimeout(context.Background(), 30*time.Second)
+				_ = s.msgr.ForwardLeftovers(fctx, d.Visit.Server, left)
+				fcancel()
+			}
+			s.mon.Remove(rec.ID)
+			s.reportStatus(rec, manager.StatusInTransit, "")
+			return
+		}
+	}
+}
+
+// dispatchWithRetry migrates the naplet, re-attempting transient failures
+// per the server's retry policy. Policy refusals (landing denied) do not
+// retry: the destination's decision is authoritative.
+func (s *Server) dispatchWithRetry(rec *naplet.Record, dest string) error {
+	delay := s.cfg.DispatchRetryDelay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	// One transfer ID for the whole logical migration: the destination
+	// deduplicates replays after a lost acknowledgement.
+	tid := s.nav.NewTransferID()
+	var err error
+	for attempt := 0; ; attempt++ {
+		dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		_, err = s.nav.DispatchID(dctx, rec, dest, tid)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, navigator.ErrLandingDenied) || errors.Is(err, navigator.ErrLaunchDenied) ||
+			errors.Is(err, navigator.ErrRejected) || attempt >= s.cfg.DispatchRetries {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-s.closed:
+			return err
+		}
+	}
+}
+
+// performVisit runs one visit at this server: the business logic S
+// (OnStart) followed by the itinerary-dependent post-action T.
+func (s *Server) performVisit(g *monitor.Group, nctx *naplet.Context, behavior naplet.Behavior, v itinerary.Visit) error {
+	err := g.Run(func(goctx context.Context) error {
+		nctx.Cancel = goctx
+		return behavior.OnStart(nctx)
+	})
+	if err != nil {
+		return fmt.Errorf("onStart at %s: %w", s.name, err)
+	}
+	if v.Action == "" {
+		return nil
+	}
+	act, err := s.reg.Action(nctx.Record.Codebase, v.Action)
+	if err != nil {
+		return err
+	}
+	err = g.Run(func(goctx context.Context) error {
+		nctx.Cancel = goctx
+		return act(nctx)
+	})
+	if err != nil {
+		return fmt.Errorf("post-action %q at %s: %w", v.Action, s.name, err)
+	}
+	return nil
+}
+
+// forkAll spawns one clone per Par branch: heritage-extended IDs,
+// re-signed credentials, cloned state, inherited books and logs, each
+// branch as a clone's itinerary. Before any clone starts, every member of
+// the fork — parent included — learns its siblings' identifiers and first
+// destinations, so collective post-actions (the paper's DataComm, §3
+// Examples 2–3) can synchronize the group without out-of-band setup.
+func (s *Server) forkAll(rec *naplet.Record, branches []*itinerary.Pattern) error {
+	if len(branches) == 0 {
+		return nil
+	}
+	if err := s.sec.CheckClone(&rec.Credential); err != nil {
+		return err
+	}
+	clones := make([]*naplet.Record, 0, len(branches))
+	for _, branch := range branches {
+		branchItin, err := itinerary.New(branch)
+		if err != nil {
+			return err
+		}
+		k := rec.NextCloneIndex()
+		cloneID, err := rec.ID.Clone(k)
+		if err != nil {
+			return err
+		}
+		credential := cred.Credential{NapletID: cloneID, Codebase: rec.Codebase, Roles: rec.Credential.Roles}
+		if s.cfg.KeyRing != nil {
+			credential, err = s.cfg.KeyRing.Reissue(rec.Credential, cloneID)
+			if err != nil {
+				return err
+			}
+		}
+		clone, err := rec.CloneFor(k, branchItin, credential)
+		if err != nil {
+			return err
+		}
+		clones = append(clones, clone)
+	}
+
+	// Cross-populate the address books: "the address book of a naplet can
+	// be altered as the naplet grows" (§2.1). Hints are each member's
+	// first destination (or this server for the parent).
+	firstStop := func(r *naplet.Record) string {
+		if r.Itin != nil && r.Itin.Remaining != nil {
+			if servers := r.Itin.Remaining.Servers(); len(servers) > 0 {
+				return servers[0]
+			}
+		}
+		return s.name
+	}
+	group := append([]*naplet.Record{rec}, clones...)
+	for _, member := range group {
+		for _, peer := range group {
+			if peer == member {
+				continue
+			}
+			member.Book.Add(peer.ID, firstStop(peer))
+		}
+	}
+
+	now := s.clock()
+	for _, clone := range clones {
+		s.mgr.RecordArrival(clone.ID, clone.Codebase, "clone:"+rec.ID.Key(), now)
+		clone.Log.RecordArrival(s.name, now)
+		s.nav.RegisterEvent(context.Background(), clone, directory.Arrival, s.name, now)
+		s.msgr.CreateMailbox(clone.ID)
+		clone := clone
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.lifecycle(clone, false, nil)
+		}()
+	}
+	return nil
+}
+
+// trap handles an execution exception: the error is reported to the home
+// manager and the naplet's life cycle ends here (§5.2: the monitor "sets
+// traps for its execution exceptions").
+func (s *Server) trap(rec *naplet.Record, err error) {
+	s.reportStatus(rec, manager.StatusTrapped, err.Error())
+}
+
+// cleanup releases a naplet's local residency. When end is true the life
+// cycle is over: the visit trace records the end so late messages error
+// rather than forward.
+func (s *Server) cleanup(rec *naplet.Record, end bool) {
+	s.msgr.CloseMailbox(rec.ID)
+	if end {
+		s.mgr.RecordEnd(rec.ID, s.clock())
+	}
+	s.mon.Remove(rec.ID)
+}
+
+// reportStatus updates the naplet's home naplet-table, locally or over the
+// fabric. Status reports matter to the owner (WaitDone blocks on them), so
+// transient network failures are retried.
+func (s *Server) reportStatus(rec *naplet.Record, st manager.Status, errText string) {
+	if rec.Home == s.name {
+		s.mgr.SetStatus(rec.ID, st, errText)
+		return
+	}
+	body := ReportBody{NapletID: rec.ID, Kind: "status", Status: st, Err: errText}
+	f, err := wire.NewFrame(wire.KindReport, "", "", &body)
+	if err != nil {
+		return
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err = s.node.Call(ctx, rec.Home, f)
+		cancel()
+		if err == nil {
+			return
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// meteredMessenger wraps the per-naplet messaging view with the monitor's
+// network-bandwidth accounting (§5.2: the monitor tracks "consumed system
+// resources including CPU time, memory size, and network bandwidth"). A
+// naplet that exceeds its bandwidth budget is killed before the message
+// leaves.
+type meteredMessenger struct {
+	inner naplet.MessengerAPI
+	group *monitor.Group
+}
+
+// messageOverhead approximates per-message framing beyond the body.
+const messageOverhead = 96
+
+// Post implements naplet.MessengerAPI.
+func (m *meteredMessenger) Post(ctx context.Context, to id.NapletID, subject string, body []byte) error {
+	if err := m.group.ChargeBandwidth(int64(len(body)+len(subject)) + messageOverhead); err != nil {
+		return err
+	}
+	return m.inner.Post(ctx, to, subject, body)
+}
+
+// Receive implements naplet.MessengerAPI.
+func (m *meteredMessenger) Receive(ctx context.Context) (naplet.Message, error) {
+	return m.inner.Receive(ctx)
+}
+
+// TryReceive implements naplet.MessengerAPI.
+func (m *meteredMessenger) TryReceive() (naplet.Message, bool) {
+	return m.inner.TryReceive()
+}
+
+// listenerProxy implements naplet.ListenerAPI: reports travel to the
+// naplet's home manager, which dispatches to the owner's listener.
+type listenerProxy struct {
+	server *Server
+	rec    *naplet.Record
+}
+
+// Report implements naplet.ListenerAPI.
+func (p *listenerProxy) Report(ctx context.Context, body []byte) error {
+	if p.rec.Home == p.server.name {
+		p.server.mgr.Deliver(p.rec.ID, body)
+		return nil
+	}
+	rb := ReportBody{NapletID: p.rec.ID, Kind: "result", Body: body}
+	f, err := wire.NewFrame(wire.KindReport, "", "", &rb)
+	if err != nil {
+		return err
+	}
+	_, err = p.server.node.Call(ctx, p.rec.Home, f)
+	return err
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/itinerary"
+	"repro/internal/manager"
+)
+
+// randomTree builds a random Seq/Par pattern over the given servers with
+// every singleton on a distinct server draw.
+func randomTree(r *rand.Rand, servers []string, depth int) *itinerary.Pattern {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return itinerary.Singleton(itinerary.Visit{Server: servers[r.Intn(len(servers))]})
+	}
+	n := 1 + r.Intn(3)
+	subs := make([]*itinerary.Pattern, n)
+	for i := range subs {
+		subs[i] = randomTree(r, servers, depth-1)
+	}
+	if r.Intn(2) == 0 {
+		return itinerary.Seq(subs...)
+	}
+	return itinerary.Par(subs...)
+}
+
+// expectedAgents counts the naplets a pattern produces: 1 + one clone per
+// extra Par branch, recursively.
+func expectedAgents(p *itinerary.Pattern) int {
+	clones := 0
+	var walk func(p *itinerary.Pattern)
+	walk = func(p *itinerary.Pattern) {
+		if p == nil {
+			return
+		}
+		if p.Kind == itinerary.KindPar && len(p.Subs) > 1 {
+			clones += len(p.Subs) - 1
+		}
+		for _, s := range p.Subs {
+			walk(s)
+		}
+	}
+	walk(p)
+	return clones + 1
+}
+
+// TestPropRandomItineraryExecution runs randomly generated Seq/Par trees
+// through a real naplet space and checks two global invariants:
+//
+//  1. every server named in the pattern is visited at least once
+//     (coverage);
+//  2. exactly expectedAgents(pattern) naplets report completion (the
+//     clone algebra matches the execution engine).
+func TestPropRandomItineraryExecution(t *testing.T) {
+	serverNames := []string{"s0", "s1", "s2", "s3"}
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(trial) * 7919))
+			pattern := randomTree(r, serverNames, 3)
+			agents := expectedAgents(pattern)
+			if agents > 24 {
+				t.Skip("tree too bushy for one trial")
+			}
+
+			sp := newSpace(t, spaceOpts{}, append([]string{"home"}, serverNames...)...)
+			var (
+				mu      sync.Mutex
+				reports int
+			)
+			done := make(chan struct{}, agents)
+			_, err := sp.servers["home"].Launch(context.Background(), LaunchOptions{
+				Owner:    "czxu",
+				Codebase: "test.Collector",
+				Pattern:  pattern,
+				Listener: func(manager.Result) {
+					mu.Lock()
+					reports++
+					mu.Unlock()
+					done <- struct{}{}
+				},
+			})
+			if err != nil {
+				t.Fatalf("pattern %s: %v", pattern, err)
+			}
+			for i := 0; i < agents; i++ {
+				select {
+				case <-done:
+				case <-time.After(20 * time.Second):
+					t.Fatalf("pattern %s: %d of %d agents reported", pattern, i, agents)
+				}
+			}
+			// No extra reports beyond the expected count.
+			time.Sleep(20 * time.Millisecond)
+			mu.Lock()
+			got := reports
+			mu.Unlock()
+			if got != agents {
+				t.Fatalf("pattern %s: %d reports, want %d", pattern, got, agents)
+			}
+			// Coverage: every mentioned server saw at least one footprint.
+			mentioned := map[string]bool{}
+			for _, s := range pattern.Servers() {
+				mentioned[s] = true
+			}
+			for s := range mentioned {
+				if len(sp.servers[s].Manager().Footprints()) == 0 {
+					t.Fatalf("pattern %s: server %s never visited", pattern, s)
+				}
+			}
+			// Quiescence: nothing left resident anywhere.
+			for name, srv := range sp.servers {
+				if srv.Manager().Resident() != 0 {
+					t.Fatalf("pattern %s: %s still has residents", pattern, name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,420 @@
+// Package server composes the seven components of Figure 2 into a
+// NapletServer: NapletManager, Navigator, NapletMonitor,
+// NapletSecurityManager, ResourceManager, Messenger, and Locator, plus the
+// dynamically created ServiceChannels.
+//
+// A NapletServer is "a dock of naplets within a Java virtual machine"
+// (here: within a process) that "executes naplets in confined environments
+// and makes host resources available to them in a controlled manner". Each
+// host installs at most one naplet server; servers run autonomously and
+// cooperatively to form the naplet space.
+//
+// The server also hosts the visit engine (engine.go) that drives each
+// resident naplet through its itinerary: OnStart, post-action, next
+// decision, dispatch or clone or complete.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/id"
+	"repro/internal/locator"
+	"repro/internal/manager"
+	"repro/internal/messenger"
+	"repro/internal/monitor"
+	"repro/internal/naplet"
+	"repro/internal/navigator"
+	"repro/internal/registry"
+	"repro/internal/resource"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config assembles a naplet server.
+type Config struct {
+	// Name is the server's address in the fabric (its host name).
+	Name string
+	// Fabric is the network the server attaches to.
+	Fabric transport.Fabric
+	// Registry is the codebase registry (shared, in-process).
+	Registry *registry.Registry
+	// KeyRing verifies naplet credentials; nil skips signature checks.
+	KeyRing *cred.KeyRing
+	// Policy is the security matrix; nil means AllowAll.
+	Policy *security.Policy
+	// LocatorMode selects directory / home / forward location.
+	LocatorMode locator.Mode
+	// LocatorTTL bounds the locator cache; 0 disables caching.
+	LocatorTTL time.Duration
+	// DirectoryAddr is the central directory address (required for
+	// ModeDirectory; also receives arrival/departure registrations).
+	DirectoryAddr string
+	// ReportHome sends arrival/departure events to each naplet's home
+	// manager (the distributed directory of §4.1).
+	ReportHome bool
+	// CodeDelivery selects push or pull code-bundle transport.
+	CodeDelivery navigator.CodeDelivery
+	// Slots bounds concurrently executing naplets; ≤0 means unlimited.
+	Slots int
+	// MonitorPolicy is the default per-naplet resource policy.
+	MonitorPolicy monitor.Policy
+	// MaxResidents refuses landings beyond this many resident naplets;
+	// 0 means unlimited.
+	MaxResidents int
+	// Messenger configures the post office.
+	Messenger messenger.Config
+	// DispatchRetries re-attempts a failed migration this many times
+	// before trapping the naplet (transient network loss tolerance).
+	DispatchRetries int
+	// DispatchRetryDelay separates attempts (default 50 ms).
+	DispatchRetryDelay time.Duration
+	// Clock is the server time source; nil means time.Now.
+	Clock func() time.Time
+}
+
+// Server is one naplet server: a dock of naplets on a host.
+type Server struct {
+	cfg   Config
+	name  string
+	node  transport.Node
+	clock func() time.Time
+
+	reg   *registry.Registry
+	cache *registry.Cache
+	sec   *security.Manager
+	res   *resource.Manager
+	mon   *monitor.Monitor
+	mgr   *manager.Manager
+	loc   *locator.Locator
+	msgr  *messenger.Messenger
+	nav   *navigator.Navigator
+
+	mintMu sync.Mutex
+	minted map[string]time.Time
+
+	wg     sync.WaitGroup
+	ready  chan struct{}
+	closed chan struct{}
+}
+
+// New builds and attaches a naplet server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("server: missing name")
+	}
+	if cfg.Fabric == nil {
+		return nil, errors.New("server: missing fabric")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("server: missing registry")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	policy := security.AllowAll
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+	}
+
+	s := &Server{
+		cfg:    cfg,
+		clock:  clock,
+		reg:    cfg.Registry,
+		cache:  registry.NewCache(),
+		minted: make(map[string]time.Time),
+		ready:  make(chan struct{}),
+		closed: make(chan struct{}),
+	}
+	// Attach first: a TCP fabric resolves port 0 to a concrete address,
+	// which then becomes the server's name throughout the component stack.
+	node, err := cfg.Fabric.Attach(cfg.Name, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.node = node
+	s.name = node.Addr()
+
+	s.sec = security.NewManager(cfg.KeyRing, policy, clock)
+	s.res = resource.NewManager(s.sec)
+	s.mon = monitor.New(cfg.Slots, clock)
+	s.mgr = manager.New(s.name, clock)
+
+	s.loc = locator.New(locator.Config{
+		Mode:          cfg.LocatorMode,
+		DirectoryAddr: cfg.DirectoryAddr,
+		CacheTTL:      cfg.LocatorTTL,
+	}, node, s.mgr, clock)
+	s.msgr = messenger.New(cfg.Messenger, s.name, node, s.loc, s.mgr, clock)
+	s.nav = navigator.New(navigator.Config{
+		CodeDelivery:  cfg.CodeDelivery,
+		DirectoryAddr: cfg.DirectoryAddr,
+		ReportHome:    cfg.ReportHome,
+	}, s.name, node, s.sec, s.mgr, s.reg, s.cache, clock)
+
+	s.nav.SetLandFunc(s.land)
+	if cfg.MaxResidents > 0 {
+		s.nav.SetAdmitFunc(func(req navigator.LandingRequestBody) error {
+			if s.mgr.Resident() >= cfg.MaxResidents {
+				return fmt.Errorf("server %s: at capacity (%d residents)", s.name, cfg.MaxResidents)
+			}
+			return nil
+		})
+	}
+	// System messages cast interrupts onto the resident naplet's group.
+	s.msgr.SetInterruptSink(func(to id.NapletID, msg naplet.Message) bool {
+		g, err := s.mon.Group(to)
+		if err != nil {
+			return false
+		}
+		g.Interrupt(msg)
+		return true
+	})
+	close(s.ready)
+	return s, nil
+}
+
+// Name returns the server's address.
+func (s *Server) Name() string { return s.name }
+
+// Node returns the server's fabric node.
+func (s *Server) Node() transport.Node { return s.node }
+
+// Manager returns the server's NapletManager.
+func (s *Server) Manager() *manager.Manager { return s.mgr }
+
+// Messenger returns the server's post office.
+func (s *Server) Messenger() *messenger.Messenger { return s.msgr }
+
+// Monitor returns the server's NapletMonitor.
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// Locator returns the server's Locator.
+func (s *Server) Locator() *locator.Locator { return s.loc }
+
+// Navigator returns the server's Navigator.
+func (s *Server) Navigator() *navigator.Navigator { return s.nav }
+
+// Resources returns the server's ResourceManager.
+func (s *Server) Resources() *resource.Manager { return s.res }
+
+// Security returns the server's NapletSecurityManager.
+func (s *Server) Security() *security.Manager { return s.sec }
+
+// Cache returns the server's codebase cache.
+func (s *Server) Cache() *registry.Cache { return s.cache }
+
+// Close detaches the server and waits for resident visit engines.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	// Unblock resident naplets so their lifecycle goroutines can exit.
+	s.mon.KillAll()
+	err := s.node.Close()
+	s.wg.Wait()
+	return err
+}
+
+// handle is the server's composite frame handler, dispatching to the
+// owning component (Figure 2's request paths).
+func (s *Server) handle(from string, f wire.Frame) (wire.Frame, error) {
+	// The node attaches before the components are wired (so a TCP fabric
+	// can resolve port 0 into the server's name); block early frames until
+	// construction completes.
+	<-s.ready
+	switch f.Kind {
+	case wire.KindLandingRequest:
+		return s.nav.HandleLandingRequest(from, f)
+	case wire.KindNapletTransfer:
+		return s.nav.HandleTransfer(from, f)
+	case wire.KindCodeFetch:
+		return s.nav.HandleCodeFetch(from, f)
+	case wire.KindHomeEvent:
+		return s.nav.HandleHomeEvent(from, f)
+	case wire.KindPost:
+		return s.msgr.HandlePost(from, f)
+	case wire.KindLocatorQuery:
+		return s.loc.HandleQuery(from, f)
+	case wire.KindReport:
+		return s.handleReport(from, f)
+	case wire.KindControl:
+		return s.handleControl(from, f)
+	default:
+		return wire.Frame{}, fmt.Errorf("server %s: unexpected frame kind %q", s.name, f.Kind)
+	}
+}
+
+// ReportBody carries naplet-to-home traffic: results for the listener and
+// status updates for the naplet table.
+type ReportBody struct {
+	NapletID id.NapletID
+	// Kind is "result" or "status".
+	Kind   string
+	Status manager.Status
+	Err    string
+	Body   []byte
+}
+
+// handleReport routes a naplet's report to this server's manager (this
+// server is the naplet's home).
+func (s *Server) handleReport(from string, f wire.Frame) (wire.Frame, error) {
+	var body ReportBody
+	if err := f.Body(&body); err != nil {
+		return wire.Frame{}, err
+	}
+	switch body.Kind {
+	case "result":
+		s.mgr.Deliver(body.NapletID, body.Body)
+	case "status":
+		s.mgr.SetStatus(body.NapletID, body.Status, body.Err)
+	default:
+		return wire.Frame{}, fmt.Errorf("server: unknown report kind %q", body.Kind)
+	}
+	return wire.NewFrame(wire.KindControlReply, f.To, f.From, &ControlReplyBody{OK: true})
+}
+
+// ControlBody is a management request from an owner's tool (napletctl) to a
+// naplet's home server.
+type ControlBody struct {
+	// Op is "launch", "control", "status", or "results".
+	Op       string
+	NapletID id.NapletID
+	Verb     naplet.ControlVerb
+
+	// Launch fields (Op == "launch").
+	Owner    string
+	Codebase string
+	// Route is the itinerary in the paper's operator notation, e.g.
+	// "par(seq(s0,s1), seq(s2,s3))".
+	Route string
+	// Params seeds the "man.params" state entry (the NMNaplet parameter
+	// list); may be empty.
+	Params []string
+	// StateKV seeds private string state entries.
+	StateKV map[string]string
+}
+
+// ControlReplyBody answers a ControlBody.
+type ControlReplyBody struct {
+	OK      bool
+	Status  string
+	Err     string
+	Results [][]byte
+	// Footprints lists visit records for Op "footprints" (§2.2:
+	// "footprints of all past and current alien naplets are also recorded
+	// for management purposes").
+	Footprints []manager.Footprint
+}
+
+// handleControl serves owner management requests against the home manager.
+func (s *Server) handleControl(from string, f wire.Frame) (wire.Frame, error) {
+	var body ControlBody
+	if err := f.Body(&body); err != nil {
+		return wire.Frame{}, err
+	}
+	reply := ControlReplyBody{}
+	switch body.Op {
+	case "launch":
+		nid, err := s.launchFromControl(body)
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.OK = true
+			reply.Status = nid.String()
+		}
+	case "control":
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Control(ctx, body.NapletID, body.Verb); err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.OK = true
+		}
+	case "status":
+		st, errText, err := s.mgr.Status(body.NapletID)
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.OK = true
+			reply.Status = st.String()
+			reply.Err = errText
+		}
+	case "results":
+		for _, r := range s.mgr.Results(body.NapletID) {
+			reply.Results = append(reply.Results, r.Body)
+		}
+		reply.OK = true
+	case "footprints":
+		reply.Footprints = s.mgr.Footprints()
+		reply.OK = true
+	default:
+		return wire.Frame{}, fmt.Errorf("server: unknown control op %q", body.Op)
+	}
+	return wire.NewFrame(wire.KindControlReply, f.To, f.From, &reply)
+}
+
+// Control sends a system message (callback/terminate/suspend/resume) to a
+// naplet launched from this server, locating it through the naplet space.
+func (s *Server) Control(ctx context.Context, nid id.NapletID, verb naplet.ControlVerb) error {
+	hint := ""
+	if server, ok := s.mgr.HomeLocate(nid); ok {
+		hint = server
+	} else if tr := s.mgr.TraceNaplet(nid); tr.Known {
+		if tr.Present {
+			hint = s.name
+		} else if tr.Dest != "" {
+			hint = tr.Dest
+		}
+	}
+	return s.msgr.SendControl(ctx, nid, verb, hint)
+}
+
+// Status reports the naplet-table status of a locally launched naplet.
+func (s *Server) Status(nid id.NapletID) (manager.Status, string, error) {
+	return s.mgr.Status(nid)
+}
+
+// Results returns the reports received from a naplet launched here.
+func (s *Server) Results(nid id.NapletID) [][]byte {
+	rs := s.mgr.Results(nid)
+	out := make([][]byte, len(rs))
+	for i, r := range rs {
+		out[i] = r.Body
+	}
+	return out
+}
+
+// WaitDone blocks until a locally launched naplet reaches a terminal
+// status.
+func (s *Server) WaitDone(ctx context.Context, nid id.NapletID) (manager.Status, error) {
+	return s.mgr.WaitDone(ctx, nid)
+}
+
+// mintID creates a fresh naplet identifier for owner, unique even within
+// one clock second. TCP server names contain ':' which the identifier
+// grammar reserves, so the ID's host part is sanitized; Record.Home keeps
+// the routable server name (the home-manager location mode resolves homes
+// via nid.Host() and therefore requires grammar-clean server names, which
+// the simulated fabric uses).
+func (s *Server) mintID(owner string) (id.NapletID, error) {
+	s.mintMu.Lock()
+	defer s.mintMu.Unlock()
+	t := s.clock().UTC().Truncate(time.Second)
+	if last, ok := s.minted[owner]; ok && !t.After(last) {
+		t = last.Add(time.Second)
+	}
+	s.minted[owner] = t
+	host := strings.NewReplacer(":", "_", "@", "_").Replace(s.name)
+	return id.New(owner, host, t)
+}

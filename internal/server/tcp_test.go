@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/itinerary"
+	"repro/internal/manager"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// tcpSpace builds an n-server naplet space over real TCP sockets — the
+// same stack cmd/napletd deploys.
+func tcpSpace(t *testing.T, n int) []*Server {
+	t.Helper()
+	fabric := transport.NewTCPFabric()
+	reg := newTestRegistry(t)
+	servers := make([]*Server, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := New(Config{
+			Name:     "127.0.0.1:0", // ephemeral port; Name becomes the bound address
+			Fabric:   fabric,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+	}
+	return servers
+}
+
+func TestTCPSequentialTour(t *testing.T) {
+	servers := tcpSpace(t, 4)
+	home := servers[0]
+	route := []string{servers[1].Name(), servers[2].Name(), servers[3].Name()}
+
+	results := make(chan string, 1)
+	nid, err := home.Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Pattern:  itinerary.SeqVisits(route, ""),
+		Listener: func(r manager.Result) { results <- string(r.Body) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, home, nid, manager.StatusCompleted)
+	got := <-results
+	if want := strings.Join(route, ","); got != want {
+		t.Fatalf("tour = %q, want %q", got, want)
+	}
+	// Server names are real socket addresses.
+	if !strings.HasPrefix(home.Name(), "127.0.0.1:") || strings.HasSuffix(home.Name(), ":0") {
+		t.Fatalf("home name = %q", home.Name())
+	}
+}
+
+func TestTCPParBroadcast(t *testing.T) {
+	servers := tcpSpace(t, 4)
+	home := servers[0]
+	route := []string{servers[1].Name(), servers[2].Name(), servers[3].Name()}
+
+	done := make(chan string, 3)
+	_, err := home.Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Pattern:  itinerary.ParVisits(route, ""),
+		Listener: func(r manager.Result) { done <- string(r.Body) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-done:
+			seen[r] = true
+		case <-time.After(15 * time.Second):
+			t.Fatalf("got %d of 3 reports over TCP", i)
+		}
+	}
+	for _, name := range route {
+		if !seen[name] {
+			t.Fatalf("no report from %s: %v", name, seen)
+		}
+	}
+}
+
+func TestTCPRemoteControlOps(t *testing.T) {
+	// Drive the management surface exactly as napletctl does: over the
+	// wire with ControlBody frames.
+	servers := tcpSpace(t, 2)
+	home := servers[0]
+
+	fabric := transport.NewTCPFabric()
+	client, err := fabric.Attach("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	callCtl := func(body ControlBody) ControlReplyBody {
+		t.Helper()
+		f, err := newControlFrame(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		reply, err := client.Call(ctx, home.Name(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rb ControlReplyBody
+		if err := reply.Body(&rb); err != nil {
+			t.Fatal(err)
+		}
+		return rb
+	}
+
+	// Remote launch with the textual route notation.
+	rb := callCtl(ControlBody{
+		Op:       "launch",
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Route:    "seq(" + servers[1].Name() + ")",
+	})
+	if !rb.OK {
+		t.Fatalf("remote launch: %s", rb.Err)
+	}
+	nid := mustParseID(t, rb.Status)
+
+	// Poll status to completion.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := callCtl(ControlBody{Op: "status", NapletID: nid})
+		if !st.OK {
+			t.Fatalf("status: %s", st.Err)
+		}
+		if st.Status == "completed" {
+			break
+		}
+		if st.Status == "trapped" || time.Now().After(deadline) {
+			t.Fatalf("status = %s (%s)", st.Status, st.Err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// No results listener was installed, but the tour itself is visible in
+	// the visited server's footprints.
+	if fps := servers[1].Manager().Footprints(); len(fps) != 1 || !fps[0].NapletID.Equal(nid) {
+		t.Fatalf("footprints = %+v", fps)
+	}
+
+	// Unknown op errors cleanly.
+	f, _ := newControlFrame(ControlBody{Op: "bogus"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.Call(ctx, home.Name(), f); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+}
+
+// newControlFrame wraps a ControlBody into a KindControl frame.
+func newControlFrame(body ControlBody) (wire.Frame, error) {
+	return wire.NewFrame(wire.KindControl, "", "", &body)
+}
+
+// mustParseID parses a naplet identifier or fails the test.
+func mustParseID(t *testing.T, s string) id.NapletID {
+	t.Helper()
+	nid, err := id.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nid
+}
+
+func TestTCPFootprintsOp(t *testing.T) {
+	servers := tcpSpace(t, 2)
+	home := servers[0]
+	nid, err := home.Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Pattern:  itinerary.SeqVisits([]string{servers[1].Name()}, ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, home, nid, manager.StatusCompleted)
+
+	fabric := transport.NewTCPFabric()
+	client, _ := fabric.Attach("127.0.0.1:0", nil)
+	defer client.Close()
+	f, _ := newControlFrame(ControlBody{Op: "footprints"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := client.Call(ctx, servers[1].Name(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb ControlReplyBody
+	if err := reply.Body(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if !rb.OK || len(rb.Footprints) != 1 || !rb.Footprints[0].NapletID.Equal(nid) {
+		t.Fatalf("footprints reply: %+v", rb)
+	}
+	if rb.Footprints[0].LeftAt.IsZero() {
+		t.Fatal("footprint not closed after completion")
+	}
+}

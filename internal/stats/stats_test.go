@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 {
+		t.Fatalf("singleton: %+v", one)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.P50 != 5 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.P95-9.5) > 1e-9 {
+		t.Fatalf("P95 = %v", s.P95)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if ds[0] != 1 || ds[1] != 0.5 {
+		t.Fatalf("durations = %v", ds)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		2048:      "2.0KiB",
+		3 << 20:   "3.0MiB",
+		1536:      "1.5KiB",
+		1<<20 + 1: "1.0MiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 2.5)
+	tb.AddRow("dur", 1500*time.Microsecond)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Fatal("float formatting")
+	}
+	if !strings.Contains(out, "1.5ms") {
+		t.Fatal("duration formatting")
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	col := strings.Index(lines[0], "value")
+	if lines[2][col-1] != ' ' && lines[2][col] == ' ' {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestPropSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := raw[:0]
+		for _, v := range raw {
+			// Bound inputs so intermediate sums cannot overflow; the
+			// harness never summarizes astronomically scaled samples.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package transport abstracts the network under the naplet protocols.
+//
+// Every inter-server interaction in the system — landing negotiation, naplet
+// transfer, directory registration, locator queries, post-office messages,
+// service invocations — is a request/reply exchange of wire.Frames between
+// named nodes. Two fabrics implement the abstraction:
+//
+//   - netsim.Network: an in-process simulated network with configurable
+//     per-link latency, bandwidth and loss, which meters every byte. All
+//     tests and experiments run on it.
+//   - TCPFabric (this package): real TCP sockets, used by cmd/napletd for
+//     multi-process deployments.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Handler processes one inbound frame and returns the reply frame. Handlers
+// must be safe for concurrent use; the fabric may deliver frames from many
+// peers at once. Returning an error produces a transport-level failure at
+// the caller; protocol-level errors should travel inside reply payloads.
+type Handler func(from string, f wire.Frame) (wire.Frame, error)
+
+// Node is one attached endpoint of a fabric.
+type Node interface {
+	// Addr returns the node's own address (server name).
+	Addr() string
+	// Call sends a frame to the named peer and waits for its reply.
+	Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error)
+	// Close detaches the node. Calls after Close fail.
+	Close() error
+}
+
+// Fabric attaches nodes to a network.
+type Fabric interface {
+	// Attach registers a handler under the given address and returns the
+	// node. Attaching an address twice is an error.
+	Attach(addr string, h Handler) (Node, error)
+}
+
+// Errors shared by fabric implementations.
+var (
+	ErrNodeClosed   = errors.New("transport: node closed")
+	ErrUnknownPeer  = errors.New("transport: unknown peer")
+	ErrDuplicate    = errors.New("transport: address already attached")
+	ErrHandlerPanic = errors.New("transport: handler panicked")
+)
+
+// TCPFabric implements Fabric over real TCP sockets. Addresses are
+// host:port strings. Each Call opens a connection from a small per-peer
+// pool, writes the request frame, and reads the reply frame.
+type TCPFabric struct {
+	mu    sync.Mutex
+	nodes map[string]*tcpNode
+}
+
+// NewTCPFabric returns an empty TCP fabric.
+func NewTCPFabric() *TCPFabric {
+	return &TCPFabric{nodes: make(map[string]*tcpNode)}
+}
+
+// Attach listens on addr and serves inbound frames with h. If addr has port
+// 0 the system picks a free port; use the returned node's Addr for the
+// actual address.
+func (f *TCPFabric) Attach(addr string, h Handler) (Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &tcpNode{
+		fabric:  f,
+		addr:    ln.Addr().String(),
+		ln:      ln,
+		handler: h,
+		pools:   make(map[string][]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	f.mu.Lock()
+	if _, dup := f.nodes[n.addr]; dup {
+		f.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, n.addr)
+	}
+	f.nodes[n.addr] = n
+	f.mu.Unlock()
+	go n.serve()
+	return n, nil
+}
+
+// maxIdleConnsPerPeer bounds the connection pool kept per remote peer.
+const maxIdleConnsPerPeer = 4
+
+type tcpNode struct {
+	fabric  *TCPFabric
+	addr    string
+	ln      net.Listener
+	handler Handler
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	poolMu sync.Mutex
+	pools  map[string][]net.Conn
+
+	inboundMu sync.Mutex
+	inbound   map[net.Conn]struct{}
+
+	seq atomic.Uint64
+}
+
+// getConn pops an idle pooled connection to the peer or dials a fresh one.
+// reused reports whether the connection came from the pool (a stale pooled
+// connection justifies one retry).
+func (n *tcpNode) getConn(ctx context.Context, to string) (conn net.Conn, reused bool, err error) {
+	n.poolMu.Lock()
+	if idle := n.pools[to]; len(idle) > 0 {
+		conn = idle[len(idle)-1]
+		n.pools[to] = idle[:len(idle)-1]
+		n.poolMu.Unlock()
+		return conn, true, nil
+	}
+	n.poolMu.Unlock()
+	var d net.Dialer
+	conn, err = d.DialContext(ctx, "tcp", to)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnknownPeer, to, err)
+	}
+	return conn, false, nil
+}
+
+// putConn returns a healthy connection to the pool, or closes it when the
+// pool is full or the node is closed.
+func (n *tcpNode) putConn(to string, conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	n.poolMu.Lock()
+	defer n.poolMu.Unlock()
+	if n.closed.Load() || len(n.pools[to]) >= maxIdleConnsPerPeer {
+		conn.Close()
+		return
+	}
+	n.pools[to] = append(n.pools[to], conn)
+}
+
+// drainPools closes every idle pooled connection.
+func (n *tcpNode) drainPools() {
+	n.poolMu.Lock()
+	defer n.poolMu.Unlock()
+	for _, idle := range n.pools {
+		for _, c := range idle {
+			c.Close()
+		}
+	}
+	n.pools = make(map[string][]net.Conn)
+}
+
+func (n *tcpNode) Addr() string { return n.addr }
+
+func (n *tcpNode) serve() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.inboundMu.Lock()
+		n.inbound[conn] = struct{}{}
+		n.inboundMu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				conn.Close()
+				n.inboundMu.Lock()
+				delete(n.inbound, conn)
+				n.inboundMu.Unlock()
+			}()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+// closeInbound force-closes connections peers are keeping alive in their
+// pools, so Close does not wait on idle keep-alives.
+func (n *tcpNode) closeInbound() {
+	n.inboundMu.Lock()
+	defer n.inboundMu.Unlock()
+	for c := range n.inbound {
+		c.Close()
+	}
+}
+
+// serveConn handles a request/reply stream: frames in, replies out, one at a
+// time per connection (callers pipeline by using multiple connections).
+func (n *tcpNode) serveConn(conn net.Conn) {
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer
+		}
+		reply, err := n.safeHandle(req)
+		if err != nil {
+			reply = errorReply(req, err)
+		}
+		reply.Seq = req.Seq
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (n *tcpNode) safeHandle(req wire.Frame) (reply wire.Frame, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrHandlerPanic, r)
+		}
+	}()
+	return n.handler(req.From, req)
+}
+
+// errorReply encodes a handler error into a reply frame so the caller sees
+// it as a typed wire.Error.
+func errorReply(req wire.Frame, err error) wire.Frame {
+	payload, _ := wire.Marshal(&wire.Error{Code: "handler", Message: err.Error()})
+	return wire.Frame{
+		Kind:    wire.Kind(string(req.Kind) + ".error"),
+		From:    req.To,
+		To:      req.From,
+		Payload: payload,
+	}
+}
+
+// IsErrorReply reports whether a reply frame carries a handler error, and
+// decodes it if so.
+func IsErrorReply(req wire.Kind, reply wire.Frame) error {
+	if reply.Kind != wire.Kind(string(req)+".error") {
+		return nil
+	}
+	var werr wire.Error
+	if err := reply.Body(&werr); err != nil {
+		return fmt.Errorf("transport: undecodable error reply: %w", err)
+	}
+	return &werr
+}
+
+func (n *tcpNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error) {
+	if n.closed.Load() {
+		return wire.Frame{}, ErrNodeClosed
+	}
+	f.From = n.addr
+	f.To = to
+	f.Seq = n.seq.Add(1)
+
+	reply, reused, err := n.exchange(ctx, to, f)
+	if err != nil && reused {
+		// The pooled connection had gone stale (peer closed it while
+		// idle); one retry on a fresh connection.
+		reply, _, err = n.exchange(ctx, to, f)
+	}
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if werr := IsErrorReply(f.Kind, reply); werr != nil {
+		return reply, werr
+	}
+	return reply, nil
+}
+
+// exchange performs one request/reply over a pooled or fresh connection.
+func (n *tcpNode) exchange(ctx context.Context, to string, f wire.Frame) (wire.Frame, bool, error) {
+	conn, reused, err := n.getConn(ctx, to)
+	if err != nil {
+		return wire.Frame{}, reused, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	if err := wire.WriteFrame(conn, f); err != nil {
+		conn.Close()
+		return wire.Frame{}, reused, fmt.Errorf("transport: write to %s: %w", to, err)
+	}
+	reply, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		if errors.Is(err, io.EOF) {
+			return wire.Frame{}, reused, fmt.Errorf("transport: %s closed connection", to)
+		}
+		return wire.Frame{}, reused, fmt.Errorf("transport: read reply from %s: %w", to, err)
+	}
+	n.putConn(to, conn)
+	return reply, reused, nil
+}
+
+func (n *tcpNode) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	n.fabric.mu.Lock()
+	delete(n.fabric.nodes, n.addr)
+	n.fabric.mu.Unlock()
+	n.drainPools()
+	err := n.ln.Close()
+	n.closeInbound()
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type echoBody struct {
+	Text string
+}
+
+func echoHandler(from string, f wire.Frame) (wire.Frame, error) {
+	var body echoBody
+	if err := f.Body(&body); err != nil {
+		return wire.Frame{}, err
+	}
+	body.Text = "echo:" + body.Text
+	return wire.NewFrame(f.Kind, f.To, f.From, &body)
+}
+
+func TestTCPCallRoundTrip(t *testing.T) {
+	fab := NewTCPFabric()
+	server, err := fab.Attach("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := fab.Attach("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "hi"})
+	reply, err := client.Call(context.Background(), server.Addr(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body echoBody
+	if err := reply.Body(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Text != "echo:hi" {
+		t.Fatalf("reply = %q", body.Text)
+	}
+	if reply.Seq != 1 {
+		t.Fatalf("seq = %d", reply.Seq)
+	}
+}
+
+func TestTCPHandlerErrorPropagates(t *testing.T) {
+	fab := NewTCPFabric()
+	server, err := fab.Attach("127.0.0.1:0", func(from string, f wire.Frame) (wire.Frame, error) {
+		return wire.Frame{}, fmt.Errorf("LANDING denied")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+
+	req, _ := wire.NewFrame(wire.KindLandingRequest, "", "", &echoBody{})
+	_, err = client.Call(context.Background(), server.Addr(), req)
+	if err == nil || !strings.Contains(err.Error(), "LANDING denied") {
+		t.Fatalf("want handler error, got %v", err)
+	}
+	var werr *wire.Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("want *wire.Error, got %T", err)
+	}
+}
+
+func TestTCPHandlerPanicRecovered(t *testing.T) {
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", func(from string, f wire.Frame) (wire.Frame, error) {
+		panic("agent misbehaved")
+	})
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+	_, err := client.Call(context.Background(), server.Addr(), req)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	// Server must still serve after a handler panic.
+	_, err = client.Call(context.Background(), server.Addr(), req)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	fab := NewTCPFabric()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	_, err := client.Call(ctx, "127.0.0.1:1", req)
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("want ErrUnknownPeer, got %v", err)
+	}
+}
+
+func TestTCPClosedNode(t *testing.T) {
+	fab := NewTCPFabric()
+	node, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	addr := node.Addr()
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+	if _, err := node.Call(context.Background(), addr, req); !errors.Is(err, ErrNodeClosed) {
+		t.Fatalf("want ErrNodeClosed, got %v", err)
+	}
+	// Address is reusable after close.
+	n2, err := fab.Attach(addr, echoHandler)
+	if err != nil {
+		t.Fatalf("reattach after close: %v", err)
+	}
+	n2.Close()
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: fmt.Sprint(i)})
+			reply, err := client.Call(context.Background(), server.Addr(), req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var body echoBody
+			reply.Body(&body)
+			if body.Text != "echo:"+fmt.Sprint(i) {
+				errs <- fmt.Errorf("cross-talk: %q for %d", body.Text, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestIsErrorReplyNonError(t *testing.T) {
+	reply, _ := wire.NewFrame(wire.KindPostConfirm, "a", "b", &echoBody{})
+	if err := IsErrorReply(wire.KindPost, reply); err != nil {
+		t.Fatalf("non-error reply misdetected: %v", err)
+	}
+}
+
+func TestTCPConnectionPooling(t *testing.T) {
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+	cn := client.(*tcpNode)
+
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "a"})
+	for i := 0; i < 5; i++ {
+		if _, err := client.Call(context.Background(), server.Addr(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cn.poolMu.Lock()
+	idle := len(cn.pools[server.Addr()])
+	cn.poolMu.Unlock()
+	// Sequential calls reuse one pooled connection.
+	if idle != 1 {
+		t.Fatalf("idle pooled conns = %d, want 1", idle)
+	}
+}
+
+func TestTCPStalePooledConnRetries(t *testing.T) {
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+	cn := client.(*tcpNode)
+
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "x"})
+	if _, err := client.Call(context.Background(), server.Addr(), req); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the pooled connection: close it locally so the next reuse
+	// fails and must retry on a fresh dial.
+	cn.poolMu.Lock()
+	for _, c := range cn.pools[server.Addr()] {
+		c.Close()
+	}
+	cn.poolMu.Unlock()
+
+	reply, err := client.Call(context.Background(), server.Addr(), req)
+	if err != nil {
+		t.Fatalf("stale-conn retry failed: %v", err)
+	}
+	var body echoBody
+	reply.Body(&body)
+	if body.Text != "echo:x" {
+		t.Fatalf("reply = %q", body.Text)
+	}
+}
+
+func TestTCPPoolBounded(t *testing.T) {
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+	cn := client.(*tcpNode)
+
+	// Many concurrent calls open many connections; after they settle the
+	// pool must hold at most the cap.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "c"})
+			client.Call(context.Background(), server.Addr(), req)
+		}()
+	}
+	wg.Wait()
+	cn.poolMu.Lock()
+	idle := len(cn.pools[server.Addr()])
+	cn.poolMu.Unlock()
+	if idle > maxIdleConnsPerPeer {
+		t.Fatalf("pool overflow: %d > %d", idle, maxIdleConnsPerPeer)
+	}
+}

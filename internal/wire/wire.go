@@ -1,0 +1,208 @@
+// Package wire defines the frame format and codec shared by every
+// inter-server protocol in the naplet system: navigation (launch/landing),
+// messaging (post office), directory registration, and locator queries.
+//
+// A Frame is a typed, addressed envelope with a gob-encoded payload. Frames
+// are what transports move; their encoded size is what the network
+// substrates meter, so all traffic accounting in the experiments reflects
+// the real encoded bytes.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind identifies the protocol operation a frame carries.
+type Kind string
+
+// Frame kinds used by the naplet protocols. Applications may define their
+// own kinds; these are the framework's.
+const (
+	// Navigation protocol (§2.2).
+	KindLandingRequest Kind = "navigator.landing-request"
+	KindLandingReply   Kind = "navigator.landing-reply"
+	KindNapletTransfer Kind = "navigator.naplet-transfer"
+	KindTransferAck    Kind = "navigator.transfer-ack"
+
+	// Codebase fetch protocol (§2.1 lazy code loading).
+	KindCodeFetch  Kind = "registry.code-fetch"
+	KindCodeBundle Kind = "registry.code-bundle"
+
+	// Directory protocol (§4.1).
+	KindDirRegister Kind = "directory.register"
+	KindDirLookup   Kind = "directory.lookup"
+	KindDirReply    Kind = "directory.reply"
+
+	// Post-office messaging protocol (§4.2).
+	KindPost        Kind = "messenger.post"
+	KindPostConfirm Kind = "messenger.confirm"
+	KindPostForward Kind = "messenger.forward"
+
+	// Manager/monitor control (§2.2).
+	KindControl       Kind = "manager.control"
+	KindControlReply  Kind = "manager.control-reply"
+	KindReport        Kind = "manager.report"
+	KindHomeEvent     Kind = "manager.home-event"
+	KindLocatorQuery  Kind = "locator.query"
+	KindLocatorReply  Kind = "locator.reply"
+	KindServiceInvoke Kind = "resource.service-invoke"
+	KindServiceReply  Kind = "resource.service-reply"
+)
+
+// Frame is the unit of inter-server communication.
+type Frame struct {
+	// Kind names the protocol operation.
+	Kind Kind
+	// From and To are server names (transport addresses).
+	From, To string
+	// Seq correlates requests and replies on a connection.
+	Seq uint64
+	// Payload is the gob-encoded operation body.
+	Payload []byte
+}
+
+// Errors reported by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrTruncated     = errors.New("wire: truncated frame")
+)
+
+// MaxFrameSize bounds a single frame on the wire (16 MiB). Naplet state and
+// code bundles fit comfortably; the bound protects servers from hostile
+// length prefixes.
+const MaxFrameSize = 16 << 20
+
+// Marshal gob-encodes a payload body for embedding in a Frame.
+func Marshal(body any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(body); err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", body, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a payload produced by Marshal into out, which must be a
+// pointer.
+func Unmarshal(payload []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("wire: unmarshal into %T: %w", out, err)
+	}
+	return nil
+}
+
+// NewFrame builds a frame with a marshalled body.
+func NewFrame(kind Kind, from, to string, body any) (Frame, error) {
+	payload, err := Marshal(body)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Kind: kind, From: from, To: to, Payload: payload}, nil
+}
+
+// Body decodes the frame payload into out.
+func (f *Frame) Body(out any) error { return Unmarshal(f.Payload, out) }
+
+// EncodedSize returns the number of bytes the frame occupies on the wire,
+// the quantity metered by the network substrates.
+func (f *Frame) EncodedSize() int {
+	data, err := Encode(*f)
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// Encode serializes a frame to its wire form: a 4-byte big-endian length
+// prefix followed by the gob encoding of the frame.
+func Encode(f Frame) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&f); err != nil {
+		return nil, fmt.Errorf("wire: encode frame: %w", err)
+	}
+	if body.Len() > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body.Len())
+	}
+	out := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(out, uint32(body.Len()))
+	copy(out[4:], body.Bytes())
+	return out, nil
+}
+
+// Decode parses a frame from its wire form, returning the frame and the
+// number of bytes consumed.
+func Decode(data []byte) (Frame, int, error) {
+	if len(data) < 4 {
+		return Frame{}, 0, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > MaxFrameSize {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if len(data) < int(4+n) {
+		return Frame{}, 0, ErrTruncated
+	}
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(data[4 : 4+n])).Decode(&f); err != nil {
+		return Frame{}, 0, fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return f, int(4 + n), nil
+}
+
+// WriteFrame writes the frame's wire form to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	data, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, ErrTruncated
+		}
+		return Frame{}, err
+	}
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return Frame{}, fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// Error is a serializable error carried in reply frames so that protocol
+// errors cross server boundaries with their messages intact.
+type Error struct {
+	Code    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return e.Code + ": " + e.Message
+}
+
+// NewError builds a wire error with the given machine-readable code.
+func NewError(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

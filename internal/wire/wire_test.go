@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+type testBody struct {
+	Name  string
+	Count int
+	Data  []byte
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	in := testBody{Name: "x", Count: 3, Data: []byte{1, 2}}
+	payload, err := Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testBody
+	if err := Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestNewFrameAndBody(t *testing.T) {
+	f, err := NewFrame(KindPost, "a", "b", &testBody{Name: "msg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindPost || f.From != "a" || f.To != "b" {
+		t.Fatalf("frame header: %+v", f)
+	}
+	var body testBody
+	if err := f.Body(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Name != "msg" {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f, _ := NewFrame(KindDirLookup, "s1", "s2", &testBody{Name: "q", Count: 7})
+	f.Seq = 42
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) {
+		t.Fatalf("consumed %d of %d", n, len(data))
+	}
+	if got.Kind != f.Kind || got.From != f.From || got.To != f.To || got.Seq != 42 {
+		t.Fatalf("decoded header: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	f, _ := NewFrame(KindPost, "a", "b", &testBody{})
+	data, _ := Encode(f)
+	for _, cut := range []int{0, 1, 3, len(data) - 1} {
+		if _, _, err := Decode(data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(%d bytes): %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeOversizedPrefix(t *testing.T) {
+	var data [8]byte
+	binary.BigEndian.PutUint32(data[:], MaxFrameSize+1)
+	if _, _, err := Decode(data[:]); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	a, _ := NewFrame(KindPost, "x", "y", &testBody{Name: "1"})
+	b, _ := NewFrame(KindPostConfirm, "y", "x", &testBody{Name: "2"})
+	if err := WriteFrame(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Kind != KindPost || rb.Kind != KindPostConfirm {
+		t.Fatalf("stream order broken: %v %v", ra.Kind, rb.Kind)
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF at end of stream, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	f, _ := NewFrame(KindPost, "a", "b", &testBody{Data: make([]byte, 100)})
+	data, _ := Encode(f)
+	r := bytes.NewReader(data[:len(data)-10])
+	if _, err := ReadFrame(r); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestEncodedSizeGrowsWithPayload(t *testing.T) {
+	small, _ := NewFrame(KindPost, "a", "b", &testBody{})
+	big, _ := NewFrame(KindPost, "a", "b", &testBody{Data: make([]byte, 4096)})
+	if small.EncodedSize() <= 0 {
+		t.Fatal("size must be positive")
+	}
+	if big.EncodedSize() <= small.EncodedSize()+4000 {
+		t.Fatalf("size must reflect payload: small=%d big=%d", small.EncodedSize(), big.EncodedSize())
+	}
+}
+
+func TestWireError(t *testing.T) {
+	e := NewError("denied", "no LANDING permission for %s", "naplet-1")
+	if e.Error() != "denied: no LANDING permission for naplet-1" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	bare := &Error{Message: "just text"}
+	if bare.Error() != "just text" {
+		t.Fatalf("Error() = %q", bare.Error())
+	}
+}
+
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(kind string, from, to string, seq uint64, payload []byte) bool {
+		in := Frame{Kind: Kind(kind), From: from, To: to, Seq: seq, Payload: payload}
+		data, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, n, err := Decode(data)
+		if err != nil || n != len(data) {
+			return false
+		}
+		return out.Kind == in.Kind && out.From == in.From && out.To == in.To &&
+			out.Seq == in.Seq && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDecodeNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
