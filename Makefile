@@ -1,0 +1,24 @@
+# Tier-1 verification and perf-trajectory targets.
+
+# verify is the extended tier-1 gate: vet, build, full test suite, and a
+# race pass over the packages that share sync.Pool buffers and per-
+# connection scratch state.
+verify:
+	go vet ./...
+	go build ./...
+	go test ./...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/...
+
+# bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
+# PRs compare against. Samples each benchmark 5 times with allocation
+# accounting (the -benchmem -count=5 quantities).
+bench:
+	go run ./cmd/wirebench -count 5 -o BENCH_wire.json
+
+# fuzz runs the wire codec fuzz targets briefly; CI-sized smoke, not a
+# campaign.
+fuzz:
+	go test -run '^$$' -fuzz FuzzDecode -fuzztime 15s ./internal/wire/
+	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
+
+.PHONY: verify bench fuzz

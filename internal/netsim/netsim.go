@@ -356,7 +356,7 @@ func (s *simNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 
 	reply, herr := s.safeHandle(peer, f)
 	if herr != nil {
-		reply = errorReply(f, herr)
+		reply = transport.ErrorReply(f, herr)
 	}
 	reply.Seq = f.Seq
 	reply.From, reply.To = to, s.addr
@@ -393,14 +393,6 @@ func (s *simNode) safeHandle(peer *simNode, req wire.Frame) (reply wire.Frame, e
 		}
 	}()
 	return peer.handler(req.From, req)
-}
-
-func errorReply(req wire.Frame, err error) wire.Frame {
-	payload, _ := wire.Marshal(&wire.Error{Code: "handler", Message: err.Error()})
-	return wire.Frame{
-		Kind:    wire.Kind(string(req.Kind) + ".error"),
-		Payload: payload,
-	}
 }
 
 func (s *simNode) Close() error {

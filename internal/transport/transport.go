@@ -29,6 +29,11 @@ import (
 // must be safe for concurrent use; the fabric may deliver frames from many
 // peers at once. Returning an error produces a transport-level failure at
 // the caller; protocol-level errors should travel inside reply payloads.
+//
+// The request frame's Payload may alias a per-connection read buffer that
+// the fabric reuses after the handler returns: handlers that retain the
+// payload beyond the call must copy it. Decoding it with Frame.Body (the
+// universal pattern) always copies.
 type Handler func(from string, f wire.Frame) (wire.Frame, error)
 
 // Node is one attached endpoint of a fabric.
@@ -198,16 +203,21 @@ func (n *tcpNode) closeInbound() {
 }
 
 // serveConn handles a request/reply stream: frames in, replies out, one at a
-// time per connection (callers pipeline by using multiple connections).
+// time per connection (callers pipeline by using multiple connections). A
+// per-connection scratch buffer is reused across frames, so steady-state
+// serving reads without allocating; this is safe because each request is
+// fully handled before the next read (see the Handler contract).
 func (n *tcpNode) serveConn(conn net.Conn) {
+	var scratch []byte
 	for {
-		req, err := wire.ReadFrame(conn)
+		req, grown, err := wire.ReadFrameReuse(conn, scratch)
 		if err != nil {
 			return // EOF or broken peer
 		}
+		scratch = grown
 		reply, err := n.safeHandle(req)
 		if err != nil {
-			reply = errorReply(req, err)
+			reply = ErrorReply(req, err)
 		}
 		reply.Seq = req.Seq
 		if err := wire.WriteFrame(conn, reply); err != nil {
@@ -225,10 +235,24 @@ func (n *tcpNode) safeHandle(req wire.Frame) (reply wire.Frame, err error) {
 	return n.handler(req.From, req)
 }
 
-// errorReply encodes a handler error into a reply frame so the caller sees
-// it as a typed wire.Error.
-func errorReply(req wire.Frame, err error) wire.Frame {
-	payload, _ := wire.Marshal(&wire.Error{Code: "handler", Message: err.Error()})
+// fallbackErrorPayload is a pre-encoded generic handler error, sent when the
+// real error message itself fails to marshal so the caller still receives a
+// decodable wire.Error rather than an empty payload.
+var fallbackErrorPayload = func() []byte {
+	p, err := wire.Marshal(&wire.Error{Code: "handler", Message: "handler error (detail unencodable)"})
+	if err != nil {
+		panic("transport: cannot pre-encode fallback error payload: " + err.Error())
+	}
+	return p
+}()
+
+// ErrorReply encodes a handler error into a reply frame so the caller sees
+// it as a typed wire.Error. Both fabrics (TCP and netsim) use it.
+func ErrorReply(req wire.Frame, err error) wire.Frame {
+	payload, merr := wire.Marshal(&wire.Error{Code: "handler", Message: err.Error()})
+	if merr != nil {
+		payload = fallbackErrorPayload
+	}
 	return wire.Frame{
 		Kind:    wire.Kind(string(req.Kind) + ".error"),
 		From:    req.To,

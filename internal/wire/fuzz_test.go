@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeeds returns a corpus of valid encoded frames plus hostile inputs:
+// truncated headers, oversized length prefixes, and garbage bodies.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	frames := []Frame{
+		{Kind: KindPost, From: "a", To: "b", Seq: 1, Payload: []byte("hello")},
+		{Kind: KindNapletTransfer, From: "server-α", To: "数据中心", Seq: 1 << 40, Payload: make([]byte, 300)},
+		{},
+	}
+	var seeds [][]byte
+	for _, f := range frames {
+		data, err := Encode(f)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, data, data[:len(data)/2])
+	}
+	hostile := make([]byte, 8)
+	binary.BigEndian.PutUint32(hostile, MaxFrameSize+1)
+	seeds = append(seeds,
+		hostile,
+		[]byte{0, 0, 0, 3, 200, 'a', 'b'}, // kind length prefix overruns body
+		[]byte{0, 0, 0, 4, 0, 0, 0, 0x80}, // dangling uvarint continuation
+		[]byte{0xff, 0xff},                // short length prefix
+		bytes.Repeat([]byte{0x80}, 32),    // varint that never terminates
+	)
+	return seeds
+}
+
+// FuzzDecode feeds arbitrary bytes to Decode: it must never panic, must
+// never report consuming more bytes than it was given, and any frame it
+// does accept must survive a canonical re-encode round trip.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < 4 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Non-minimal varints may make the input longer than canonical,
+		// never shorter.
+		if fr.EncodedSize() > n {
+			t.Fatalf("EncodedSize %d exceeds consumed %d", fr.EncodedSize(), n)
+		}
+		re, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, m, err := Decode(re)
+		if err != nil || m != len(re) {
+			t.Fatalf("re-decode: n=%d err=%v", m, err)
+		}
+		if back.Kind != fr.Kind || back.From != fr.From || back.To != fr.To ||
+			back.Seq != fr.Seq || !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, fr)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the streaming reader: no panics,
+// no over-reads, and hostile length prefixes must be rejected before any
+// large allocation.
+func FuzzReadFrame(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if fr.EncodedSize() > len(data) {
+			t.Fatalf("accepted frame of size %d from %d input bytes", fr.EncodedSize(), len(data))
+		}
+	})
+}

@@ -2,10 +2,25 @@
 // inter-server protocol in the naplet system: navigation (launch/landing),
 // messaging (post office), directory registration, and locator queries.
 //
-// A Frame is a typed, addressed envelope with a gob-encoded payload. Frames
-// are what transports move; their encoded size is what the network
-// substrates meter, so all traffic accounting in the experiments reflects
-// the real encoded bytes.
+// A Frame is a typed, addressed envelope. The frame header (Kind, From, To,
+// Seq) is encoded with a hand-rolled binary codec — length-prefixed strings
+// and varints — while the Payload remains a gob-encoded operation body,
+// where type flexibility matters. Frames are what transports move; their
+// encoded size is what the network substrates meter, so all traffic
+// accounting in the experiments reflects the real encoded bytes.
+//
+// Wire layout (see DESIGN.md §7 for the full specification):
+//
+//	[4-byte big-endian body length n]
+//	[uvarint len(Kind)] [Kind bytes]
+//	[uvarint len(From)] [From bytes]
+//	[uvarint len(To)]   [To bytes]
+//	[uvarint Seq]
+//	[Payload bytes — the remainder of the body]
+//
+// Because every field's size is known arithmetically, EncodedSize is O(1)
+// and allocation-free, and the encode path is a single buffer append with
+// no reflection and no per-frame type descriptors.
 package wire
 
 import (
@@ -15,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
 )
 
 // Kind identifies the protocol operation a frame carries.
@@ -70,11 +87,12 @@ type Frame struct {
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrMalformed     = errors.New("wire: malformed frame header")
 )
 
-// MaxFrameSize bounds a single frame on the wire (16 MiB). Naplet state and
-// code bundles fit comfortably; the bound protects servers from hostile
-// length prefixes.
+// MaxFrameSize bounds a single frame body on the wire (16 MiB). Naplet
+// state and code bundles fit comfortably; the bound protects servers from
+// hostile length prefixes.
 const MaxFrameSize = 16 << 20
 
 // Marshal gob-encodes a payload body for embedding in a Frame.
@@ -107,34 +125,101 @@ func NewFrame(kind Kind, from, to string, body any) (Frame, error) {
 // Body decodes the frame payload into out.
 func (f *Frame) Body(out any) error { return Unmarshal(f.Payload, out) }
 
-// EncodedSize returns the number of bytes the frame occupies on the wire,
-// the quantity metered by the network substrates.
-func (f *Frame) EncodedSize() int {
-	data, err := Encode(*f)
-	if err != nil {
-		return 0
-	}
-	return len(data)
+// uvarintLen returns the number of bytes binary.PutUvarint emits for x.
+func uvarintLen(x uint64) int {
+	return (bits.Len64(x|1) + 6) / 7
 }
 
-// Encode serializes a frame to its wire form: a 4-byte big-endian length
-// prefix followed by the gob encoding of the frame.
+// headerSize returns the encoded size of the frame header fields (everything
+// between the length prefix and the payload).
+func (f *Frame) headerSize() int {
+	return uvarintLen(uint64(len(f.Kind))) + len(f.Kind) +
+		uvarintLen(uint64(len(f.From))) + len(f.From) +
+		uvarintLen(uint64(len(f.To))) + len(f.To) +
+		uvarintLen(f.Seq)
+}
+
+// EncodedSize returns the number of bytes the frame occupies on the wire,
+// the quantity metered by the network substrates. It is computed
+// arithmetically in O(1) with no allocation and is byte-exact against
+// Encode. Frames whose body exceeds MaxFrameSize still report their true
+// size here; Encode is where the bound is enforced.
+func (f *Frame) EncodedSize() int {
+	return 4 + f.headerSize() + len(f.Payload)
+}
+
+// appendHeader appends the encoded header fields to dst.
+func appendHeader(dst []byte, f *Frame) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(f.Kind)))
+	dst = append(dst, f.Kind...)
+	dst = binary.AppendUvarint(dst, uint64(len(f.From)))
+	dst = append(dst, f.From...)
+	dst = binary.AppendUvarint(dst, uint64(len(f.To)))
+	dst = append(dst, f.To...)
+	dst = binary.AppendUvarint(dst, f.Seq)
+	return dst
+}
+
+// appendFrame appends the full wire form (length prefix, header, payload)
+// to dst, enforcing MaxFrameSize.
+func appendFrame(dst []byte, f *Frame) ([]byte, error) {
+	body := f.headerSize() + len(f.Payload)
+	if body > MaxFrameSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	}
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(body))
+	dst = append(dst, lenbuf[:]...)
+	dst = appendHeader(dst, f)
+	dst = append(dst, f.Payload...)
+	return dst, nil
+}
+
+// Encode serializes a frame to its wire form in a single allocation.
 func Encode(f Frame) ([]byte, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(&f); err != nil {
-		return nil, fmt.Errorf("wire: encode frame: %w", err)
+	out := make([]byte, 0, f.EncodedSize())
+	return appendFrame(out, &f)
+}
+
+// readString consumes one length-prefixed string from b.
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, ErrMalformed
 	}
-	if body.Len() > MaxFrameSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body.Len())
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// decodeBody parses the frame body (header + payload, no length prefix).
+// The returned frame's Payload aliases body.
+func decodeBody(body []byte) (Frame, error) {
+	var f Frame
+	kind, rest, err := readString(body)
+	if err != nil {
+		return Frame{}, err
 	}
-	out := make([]byte, 4+body.Len())
-	binary.BigEndian.PutUint32(out, uint32(body.Len()))
-	copy(out[4:], body.Bytes())
-	return out, nil
+	f.Kind = Kind(kind)
+	if f.From, rest, err = readString(rest); err != nil {
+		return Frame{}, err
+	}
+	if f.To, rest, err = readString(rest); err != nil {
+		return Frame{}, err
+	}
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Frame{}, ErrMalformed
+	}
+	f.Seq = seq
+	if rest = rest[n:]; len(rest) > 0 {
+		f.Payload = rest
+	}
+	return f, nil
 }
 
 // Decode parses a frame from its wire form, returning the frame and the
-// number of bytes consumed.
+// number of bytes consumed. The returned frame's Payload aliases data
+// (zero-copy); callers that retain the frame beyond the lifetime of data
+// must copy the payload.
 func Decode(data []byte) (Frame, int, error) {
 	if len(data) < 4 {
 		return Frame{}, 0, ErrTruncated
@@ -143,48 +228,87 @@ func Decode(data []byte) (Frame, int, error) {
 	if n > MaxFrameSize {
 		return Frame{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	if len(data) < int(4+n) {
+	if uint64(len(data)-4) < uint64(n) {
 		return Frame{}, 0, ErrTruncated
 	}
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(data[4 : 4+n])).Decode(&f); err != nil {
-		return Frame{}, 0, fmt.Errorf("wire: decode frame: %w", err)
+	f, err := decodeBody(data[4 : 4+n])
+	if err != nil {
+		return Frame{}, 0, err
 	}
 	return f, int(4 + n), nil
 }
 
-// WriteFrame writes the frame's wire form to w.
-func WriteFrame(w io.Writer, f Frame) error {
-	data, err := Encode(f)
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(data)
-	return err
+// encBufPool recycles encode buffers across WriteFrame calls. Buffers that
+// grew past maxPooledBuf are dropped rather than pinned in the pool.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
-// ReadFrame reads one frame from r.
+const maxPooledBuf = 64 << 10
+
+// WriteFrame writes the frame's wire form to w using a pooled buffer, so
+// steady-state writes do not allocate.
+func WriteFrame(w io.Writer, f Frame) error {
+	bp := encBufPool.Get().(*[]byte)
+	buf, err := appendFrame((*bp)[:0], &f)
+	if err != nil {
+		encBufPool.Put(bp)
+		return err
+	}
+	_, werr := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		encBufPool.Put(bp)
+	}
+	return werr
+}
+
+// ReadFrame reads one frame from r. The frame's payload is freshly
+// allocated and owned by the caller.
 func ReadFrame(r io.Reader) (Frame, error) {
+	f, _, err := readFrame(r, nil)
+	return f, err
+}
+
+// ReadFrameReuse reads one frame from r into scratch, growing it as needed,
+// and returns the (possibly reallocated) scratch for the next call. The
+// returned frame's Payload aliases scratch, so the frame is only valid
+// until the next ReadFrameReuse with the same buffer — the pattern used by
+// transport loops that fully consume each frame before reading the next.
+func ReadFrameReuse(r io.Reader, scratch []byte) (Frame, []byte, error) {
+	return readFrame(r, scratch)
+}
+
+// readFrame reads the length prefix and body from r. With a nil scratch a
+// fresh body buffer is allocated per call; otherwise scratch is reused and
+// grown geometrically.
+func readFrame(r io.Reader, scratch []byte) (Frame, []byte, error) {
 	var lenbuf [4]byte
 	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
-		return Frame{}, err
+		return Frame{}, scratch, err
 	}
-	n := binary.BigEndian.Uint32(lenbuf[:])
+	n := int(binary.BigEndian.Uint32(lenbuf[:]))
 	if n > MaxFrameSize {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		return Frame{}, scratch, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	body := make([]byte, n)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Frame{}, ErrTruncated
+			return Frame{}, scratch, ErrTruncated
 		}
-		return Frame{}, err
+		return Frame{}, scratch, err
 	}
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
-		return Frame{}, fmt.Errorf("wire: decode frame: %w", err)
+	f, err := decodeBody(body)
+	if err != nil {
+		return Frame{}, scratch, err
 	}
-	return f, nil
+	return f, scratch, nil
 }
 
 // Error is a serializable error carried in reply frames so that protocol

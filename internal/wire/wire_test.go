@@ -130,6 +130,138 @@ func TestReadFrameRejectsHostileLength(t *testing.T) {
 	}
 }
 
+// allKinds enumerates every protocol kind the framework defines, for
+// round-trip coverage.
+var allKinds = []Kind{
+	KindLandingRequest, KindLandingReply, KindNapletTransfer, KindTransferAck,
+	KindCodeFetch, KindCodeBundle,
+	KindDirRegister, KindDirLookup, KindDirReply,
+	KindPost, KindPostConfirm, KindPostForward,
+	KindControl, KindControlReply, KindReport, KindHomeEvent,
+	KindLocatorQuery, KindLocatorReply, KindServiceInvoke, KindServiceReply,
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, k := range allKinds {
+		in := Frame{Kind: k, From: "src", To: "dst", Seq: 9, Payload: []byte{0xff, 0, 1}}
+		data, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		out, n, err := Decode(data)
+		if err != nil || n != len(data) {
+			t.Fatalf("%s: decode n=%d err=%v", k, n, err)
+		}
+		if out.Kind != in.Kind || out.From != in.From || out.To != in.To ||
+			out.Seq != in.Seq || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("%s: round trip mismatch: %+v", k, out)
+		}
+	}
+}
+
+// TestEncodedSizeMatchesEncode pins the regression the old gob codec had:
+// EncodedSize must be byte-exact against Encode for every frame shape,
+// including the empty payload, a body of exactly MaxFrameSize, and
+// multi-byte UTF-8 addresses.
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	maxFrame := Frame{Kind: KindNapletTransfer, From: "origin", To: "dest"}
+	maxFrame.Payload = make([]byte, MaxFrameSize-maxFrame.headerSize())
+	frames := []Frame{
+		{},
+		{Kind: KindPost, From: "a", To: "b"},
+		{Kind: KindPost, From: "a", To: "b", Seq: 1 << 63, Payload: []byte("x")},
+		{Kind: "приложение.зонд", From: "сервер-α", To: "数据中心", Seq: 300, Payload: []byte("πληρωμή")},
+		{Kind: KindDirLookup, From: "s1", To: "s2", Seq: 127, Payload: make([]byte, 4096)},
+		maxFrame,
+	}
+	for i, f := range frames {
+		data, err := Encode(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got, want := f.EncodedSize(), len(data); got != want {
+			t.Errorf("frame %d: EncodedSize=%d, len(Encode)=%d", i, got, want)
+		}
+	}
+}
+
+func TestEncodeRejectsOversizedBody(t *testing.T) {
+	f := Frame{Kind: KindPost, Payload: make([]byte, MaxFrameSize+1)}
+	if _, err := Encode(f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	if err := WriteFrame(io.Discard, f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteFrame: want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestDecodeMalformedHeader(t *testing.T) {
+	cases := map[string][]byte{
+		// Body length says 3 but the kind length prefix claims 200 bytes.
+		"length overrun": {0, 0, 0, 3, 200, 'a', 'b'},
+		// Body present but empty: no header fields at all.
+		"empty body": {0, 0, 0, 0},
+		// Unterminated uvarint for Seq (continuation bit set at end).
+		"dangling varint": {0, 0, 0, 4, 0, 0, 0, 0x80},
+	}
+	for name, data := range cases {
+		if _, _, err := Decode(data); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: want ErrMalformed, got %v", name, err)
+		}
+	}
+}
+
+func TestReadFrameReuse(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Frame{
+		{Kind: KindPost, From: "x", To: "y", Seq: 1, Payload: []byte("first")},
+		{Kind: KindPostConfirm, From: "y", To: "x", Seq: 2, Payload: bytes.Repeat([]byte("grow"), 512)},
+		{Kind: KindReport, From: "x", To: "z", Seq: 3},
+	}
+	for _, f := range want {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, w := range want {
+		got, grown, err := ReadFrameReuse(&buf, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		scratch = grown
+		if got.Kind != w.Kind || got.Seq != w.Seq || !bytes.Equal(got.Payload, w.Payload) {
+			t.Fatalf("frame %d mismatch: %+v", i, got)
+		}
+	}
+	if _, _, err := ReadFrameReuse(&buf, scratch); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestWriteFrameConcurrent exercises the encode buffer pool from many
+// goroutines; run under -race it guards the sync.Pool sharing.
+func TestWriteFrameConcurrent(t *testing.T) {
+	f, _ := NewFrame(KindPost, "a", "b", &testBody{Data: make([]byte, 512)})
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				if err := WriteFrame(io.Discard, f); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestEncodedSizeGrowsWithPayload(t *testing.T) {
 	small, _ := NewFrame(KindPost, "a", "b", &testBody{})
 	big, _ := NewFrame(KindPost, "a", "b", &testBody{Data: make([]byte, 4096)})
@@ -157,6 +289,9 @@ func TestPropEncodeDecodeRoundTrip(t *testing.T) {
 		in := Frame{Kind: Kind(kind), From: from, To: to, Seq: seq, Payload: payload}
 		data, err := Encode(in)
 		if err != nil {
+			return false
+		}
+		if in.EncodedSize() != len(data) {
 			return false
 		}
 		out, n, err := Decode(data)
