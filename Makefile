@@ -1,13 +1,13 @@
 # Tier-1 verification and perf-trajectory targets.
 
 # verify is the extended tier-1 gate: vet, build, full test suite, and a
-# race pass over the packages that share sync.Pool buffers and per-
-# connection scratch state.
+# race pass over the packages that share sync.Pool buffers, per-
+# connection scratch state, or lock-free metric hot paths.
 verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/...
 
 # bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
 # PRs compare against. Samples each benchmark 5 times with allocation
@@ -15,10 +15,17 @@ verify:
 bench:
 	go run ./cmd/wirebench -count 5 -o BENCH_wire.json
 
+# bench-telemetry regenerates BENCH_telemetry.json and enforces the
+# telemetry cost contract: counter increments ≤25 ns/op with 0 allocs, and
+# the instrumented TCP frame path within 5% of the BENCH_wire.json
+# baseline.
+bench-telemetry:
+	go run ./cmd/telemetrybench -count 5 -o BENCH_telemetry.json
+
 # fuzz runs the wire codec fuzz targets briefly; CI-sized smoke, not a
 # campaign.
 fuzz:
 	go test -run '^$$' -fuzz FuzzDecode -fuzztime 15s ./internal/wire/
 	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
 
-.PHONY: verify bench fuzz
+.PHONY: verify bench bench-telemetry fuzz

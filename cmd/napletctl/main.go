@@ -9,17 +9,23 @@
 //	napletctl -home <addr> status  -id <naplet-id>
 //	napletctl -home <addr> results -id <naplet-id>
 //	napletctl -home <addr> control -id <naplet-id> -verb terminate
+//	napletctl metrics <metrics-addr>
 //
 // The home address is the napletd that launched (or will launch) the
-// naplet.
+// naplet. The metrics subcommand talks to a napletd's telemetry endpoint
+// (its -metrics-addr) instead of the naplet protocol port.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,6 +33,7 @@ import (
 	"repro/internal/man"
 	"repro/internal/naplet"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -39,6 +46,16 @@ func main() {
 		usage()
 	}
 	cmd, rest := args[0], args[1:]
+
+	// The metrics subcommand is pure HTTP; it needs no fabric node.
+	if cmd == "metrics" {
+		if len(rest) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: napletctl metrics <metrics-addr>")
+			os.Exit(2)
+		}
+		metrics(rest[0])
+		return
+	}
 
 	fabric := transport.NewTCPFabric()
 	node, err := fabric.Attach("127.0.0.1:0", func(string, wire.Frame) (wire.Frame, error) {
@@ -67,7 +84,126 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|footprints} [flags]")
+	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>")
 	os.Exit(2)
+}
+
+// sample is one parsed Prometheus text-format line.
+type sample struct {
+	name   string // series name including labels, e.g. `foo{kind="post"}`
+	family string // bare metric name
+	value  float64
+}
+
+// metrics fetches a napletd telemetry endpoint and pretty-prints the
+// naplet-relevant families, grouped by component, with a few derived
+// figures (cache hit ratio, mean latencies).
+func metrics(addr string) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		log.Fatalf("napletctl metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("napletctl metrics: %s returned %s", addr, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("napletctl metrics: read: %v", err)
+	}
+
+	samples := parsePrometheus(string(body))
+	byComponent := make(map[string][]sample)
+	values := make(map[string]float64)
+	for _, s := range samples {
+		values[s.name] = s.value
+		if !strings.HasPrefix(s.family, "naplet_") {
+			continue
+		}
+		// Histogram buckets would swamp the table; keep _sum/_count so
+		// means stay derivable.
+		if strings.HasSuffix(s.family, "_bucket") {
+			continue
+		}
+		parts := strings.SplitN(s.family, "_", 3)
+		if len(parts) < 3 {
+			continue
+		}
+		byComponent[parts[1]] = append(byComponent[parts[1]], s)
+	}
+
+	components := make([]string, 0, len(byComponent))
+	for c := range byComponent {
+		components = append(components, c)
+	}
+	sort.Strings(components)
+	for _, c := range components {
+		rows := byComponent[c]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		tbl := stats.NewTable(c, "value")
+		for _, s := range rows {
+			tbl.AddRow(strings.TrimPrefix(s.name, "naplet_"+c+"_"), formatMetric(s.value))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+
+	// Derived figures the raw families only imply.
+	if lookups := values["naplet_locator_lookups_total"]; lookups > 0 {
+		hits := values["naplet_locator_cache_hits_total"]
+		fmt.Printf("locator cache hit ratio: %.1f%%\n", 100*hits/lookups)
+	}
+	printMean(values, "naplet_messenger_confirm_rtt_seconds", "mean confirm RTT")
+	printMean(values, "naplet_navigator_hop_latency_seconds", "mean hop latency")
+}
+
+// printMean derives a mean from a histogram's _sum/_count pair.
+func printMean(values map[string]float64, family, label string) {
+	count := values[family+"_count"]
+	if count <= 0 {
+		return
+	}
+	mean := time.Duration(values[family+"_sum"] / count * float64(time.Second))
+	fmt.Printf("%s: %s over %.0f samples\n", label, mean, count)
+}
+
+// parsePrometheus extracts samples from text exposition format 0.0.4.
+func parsePrometheus(text string) []sample {
+	var out []sample
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		name := line[:i]
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		family := name
+		if j := strings.IndexByte(family, '{'); j >= 0 {
+			family = family[:j]
+		}
+		out = append(out, sample{name: name, family: family, value: v})
+	}
+	return out
+}
+
+// formatMetric renders integral counters without decimals and everything
+// else with sensible precision.
+func formatMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
 // call performs one management exchange with the home server.

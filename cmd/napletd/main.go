@@ -22,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/snmp"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -75,6 +78,7 @@ func main() {
 	dirAddr := flag.String("directory", "", "central directory address (enables directory location mode)")
 	community := flag.String("community", "public", "SNMP community of the local simulated device")
 	slots := flag.Int("slots", 0, "concurrent naplet execution slots (0 = unlimited)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics, /healthz and /spans (empty = disabled)")
 	flag.Parse()
 
 	reg, err := buildRegistry()
@@ -82,6 +86,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fabric := transport.NewTCPFabric()
+	telem := telemetry.NewRegistry()
+	tracer := telemetry.NewHopTracer(0)
+	fabric.Instrument(telem)
 
 	mode := locator.ModeForward
 	if *dirAddr != "" {
@@ -110,9 +117,28 @@ func main() {
 		LocatorMode:   mode,
 		DirectoryAddr: *dirAddr,
 		Slots:         *slots,
+		Telemetry:     telem,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		start := time.Now()
+		telem.GaugeFunc("naplet_process_uptime_seconds", "seconds since the daemon started", func() float64 {
+			return time.Since(start).Seconds()
+		})
+		telem.GaugeFunc("naplet_process_goroutines", "goroutines in the daemon process", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+		handler := telemetry.Handler(telem, tracer, nil)
+		go func() {
+			log.Printf("napletd: telemetry on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, handler); err != nil {
+				log.Printf("napletd: telemetry server: %v", err)
+			}
+		}()
 	}
 
 	// Host a simulated managed device behind the NetManagement service, so

@@ -19,6 +19,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/id"
 	"repro/internal/manager"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -69,7 +70,9 @@ var (
 	ErrNoHint   = errors.New("locator: no location hint in forward mode")
 )
 
-// Stats counts locator activity.
+// Stats is a point-in-time snapshot of locator activity. The counters
+// live in the telemetry registry (the single source of truth); Stats is
+// the legacy view built by Locator.Stats.
 type Stats struct {
 	Lookups    int64
 	CacheHits  int64
@@ -87,6 +90,30 @@ type Config struct {
 	DirectoryAddr string
 	// CacheTTL bounds the age of cached locations; 0 disables caching.
 	CacheTTL time.Duration
+	// Telemetry receives the locator's counters; nil uses a private
+	// registry (counters still work, nothing is exported).
+	Telemetry *telemetry.Registry
+}
+
+// metrics holds the locator's registered counter handles.
+type metrics struct {
+	lookups    *telemetry.Counter
+	cacheHits  *telemetry.Counter
+	directory  *telemetry.Counter
+	homeQuery  *telemetry.Counter
+	failures   *telemetry.Counter
+	cacheEvict *telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		lookups:    reg.Counter("naplet_locator_lookups_total", "naplet location resolutions requested"),
+		cacheHits:  reg.Counter("naplet_locator_cache_hits_total", "resolutions served from the location cache"),
+		directory:  reg.Counter("naplet_locator_directory_queries_total", "central-directory round trips"),
+		homeQuery:  reg.Counter("naplet_locator_home_queries_total", "home-manager round trips"),
+		failures:   reg.Counter("naplet_locator_failures_total", "failed lookups (before hint fallback)"),
+		cacheEvict: reg.Counter("naplet_locator_cache_evictions_total", "cache entries dropped (TTL expiry or invalidation)"),
+	}
 }
 
 type cached struct {
@@ -101,10 +128,10 @@ type Locator struct {
 	node  transport.Node
 	mgr   *manager.Manager
 	clock func() time.Time
+	met   *metrics
 
 	mu    sync.Mutex
 	cache map[string]cached
-	stats Stats
 }
 
 // New builds a locator for a server. node is the server's fabric node
@@ -115,11 +142,16 @@ func New(cfg Config, node transport.Node, mgr *manager.Manager, clock func() tim
 	if clock == nil {
 		clock = time.Now
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Locator{
 		cfg:   cfg,
 		node:  node,
 		mgr:   mgr,
 		clock: clock,
+		met:   newMetrics(reg),
 		cache: make(map[string]cached),
 	}
 }
@@ -132,17 +164,17 @@ func (l *Locator) Mode() Mode { return l.cfg.Mode }
 // may be stale by the time it is used; the messenger's forwarding handles
 // that (§4.2).
 func (l *Locator) Locate(ctx context.Context, nid id.NapletID, hint string) (string, error) {
+	l.met.lookups.Inc()
 	l.mu.Lock()
-	l.stats.Lookups++
 	if l.cfg.CacheTTL > 0 {
 		if c, ok := l.cache[nid.Key()]; ok {
 			if l.clock().Sub(c.at) <= l.cfg.CacheTTL {
-				l.stats.CacheHits++
 				l.mu.Unlock()
+				l.met.cacheHits.Inc()
 				return c.server, nil
 			}
 			delete(l.cache, nid.Key())
-			l.stats.CacheEvict++
+			l.met.cacheEvict.Inc()
 		}
 	}
 	l.mu.Unlock()
@@ -189,9 +221,7 @@ func (l *Locator) fallback(hint string, err error) (string, error) {
 }
 
 func (l *Locator) fail() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.stats.Failures++
+	l.met.failures.Inc()
 }
 
 // remember caches a resolved location.
@@ -211,7 +241,7 @@ func (l *Locator) Invalidate(nid id.NapletID) {
 	defer l.mu.Unlock()
 	if _, ok := l.cache[nid.Key()]; ok {
 		delete(l.cache, nid.Key())
-		l.stats.CacheEvict++
+		l.met.cacheEvict.Inc()
 	}
 }
 
@@ -223,9 +253,7 @@ func (l *Locator) Refresh(nid id.NapletID, server string) {
 }
 
 func (l *Locator) locateViaDirectory(ctx context.Context, nid id.NapletID) (string, error) {
-	l.mu.Lock()
-	l.stats.Directory++
-	l.mu.Unlock()
+	l.met.directory.Inc()
 	client := directory.NewClient(l.node, l.cfg.DirectoryAddr)
 	entry, err := client.Lookup(ctx, nid)
 	if err != nil {
@@ -243,9 +271,7 @@ func (l *Locator) locateViaHome(ctx context.Context, nid id.NapletID) (string, e
 		}
 		return "", fmt.Errorf("%w: %s (home has no record)", ErrNotFound, nid)
 	}
-	l.mu.Lock()
-	l.stats.HomeQuery++
-	l.mu.Unlock()
+	l.met.homeQuery.Inc()
 	f, err := wire.NewFrame(wire.KindLocatorQuery, "", "", &QueryBody{NapletID: nid})
 	if err != nil {
 		return "", err
@@ -284,9 +310,15 @@ func (l *Locator) HandleQuery(from string, f wire.Frame) (wire.Frame, error) {
 	return wire.NewFrame(wire.KindLocatorReply, f.To, f.From, &reply)
 }
 
-// Stats returns activity counters.
+// Stats snapshots the locator's activity counters from the telemetry
+// registry.
 func (l *Locator) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	return Stats{
+		Lookups:    l.met.lookups.Value(),
+		CacheHits:  l.met.cacheHits.Value(),
+		Directory:  l.met.directory.Value(),
+		HomeQuery:  l.met.homeQuery.Value(),
+		Failures:   l.met.failures.Value(),
+		CacheEvict: l.met.cacheEvict.Value(),
+	}
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/manager"
 	"repro/internal/naplet"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -66,7 +67,9 @@ var (
 	ErrMailboxClosed = errors.New("messenger: mailbox closed")
 )
 
-// Stats counts messenger activity at one server.
+// Stats is a point-in-time snapshot of messenger activity at one server.
+// The counters live in the telemetry registry; Stats is the legacy view
+// built by Messenger.Stats.
 type Stats struct {
 	Posted     int64 // messages sent from this server
 	Delivered  int64 // messages delivered into local mailboxes
@@ -74,6 +77,30 @@ type Stats struct {
 	Held       int64 // messages parked in the special mailbox
 	DrainedH   int64 // held messages later delivered on arrival
 	Interrupts int64 // system messages cast as interrupts
+}
+
+// metrics holds the messenger's registered telemetry handles.
+type metrics struct {
+	posted     *telemetry.Counter
+	delivered  *telemetry.Counter
+	forwarded  *telemetry.Counter
+	held       *telemetry.Counter
+	drained    *telemetry.Counter
+	interrupts *telemetry.Counter
+	confirmRTT *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		posted:     reg.Counter("naplet_messenger_posted_total", "messages sent from this server"),
+		delivered:  reg.Counter("naplet_messenger_delivered_total", "messages delivered into local mailboxes"),
+		forwarded:  reg.Counter("naplet_messenger_forwarded_total", "messages forwarded along visit traces"),
+		held:       reg.Counter("naplet_messenger_held_total", "messages parked in the special mailbox"),
+		drained:    reg.Counter("naplet_messenger_drained_held_total", "held messages delivered on arrival"),
+		interrupts: reg.Counter("naplet_messenger_interrupts_total", "system messages cast as interrupts"),
+		confirmRTT: reg.Histogram("naplet_messenger_confirm_rtt_seconds",
+			"post-to-confirmation round-trip time", telemetry.LatencyBuckets),
+	}
 }
 
 // InterruptSink casts a system message onto a resident naplet; it reports
@@ -86,6 +113,9 @@ type Config struct {
 	MaxHops int
 	// ForwardTimeout bounds each forwarding call (default 10s).
 	ForwardTimeout time.Duration
+	// Telemetry receives the messenger's counters and confirm-RTT
+	// histogram; nil uses a private registry.
+	Telemetry *telemetry.Registry
 }
 
 // Messenger is the per-server post office. It is safe for concurrent use.
@@ -97,11 +127,12 @@ type Messenger struct {
 	mgr    *manager.Manager
 	clock  func() time.Time
 
+	met *metrics
+
 	mu        sync.Mutex
 	mailboxes map[string]*Mailbox
 	special   map[string][]naplet.Message
 	interrupt InterruptSink
-	stats     Stats
 }
 
 // New builds the messenger of a server. node sends outbound frames; loc
@@ -117,6 +148,10 @@ func New(cfg Config, server string, node transport.Node, loc *locator.Locator, m
 	if clock == nil {
 		clock = time.Now
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Messenger{
 		cfg:       cfg,
 		server:    server,
@@ -124,6 +159,7 @@ func New(cfg Config, server string, node transport.Node, loc *locator.Locator, m
 		loc:       loc,
 		mgr:       mgr,
 		clock:     clock,
+		met:       newMetrics(reg),
 		mailboxes: make(map[string]*Mailbox),
 		special:   make(map[string][]naplet.Message),
 	}
@@ -137,11 +173,17 @@ func (m *Messenger) SetInterruptSink(sink InterruptSink) {
 	m.interrupt = sink
 }
 
-// Stats returns activity counters.
+// Stats snapshots the messenger's activity counters from the telemetry
+// registry.
 func (m *Messenger) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Posted:     m.met.posted.Value(),
+		Delivered:  m.met.delivered.Value(),
+		Forwarded:  m.met.forwarded.Value(),
+		Held:       m.met.held.Value(),
+		DrainedH:   m.met.drained.Value(),
+		Interrupts: m.met.interrupts.Value(),
+	}
 }
 
 // ---- Mailbox lifecycle ----
@@ -174,11 +216,9 @@ func (m *Messenger) CreateMailbox(nid id.NapletID) *Mailbox {
 		mb.put(msg)
 		drained++
 	}
-	m.mu.Lock()
-	m.stats.DrainedH += drained + interrupts
-	m.stats.Delivered += drained
-	m.stats.Interrupts += interrupts
-	m.mu.Unlock()
+	m.met.drained.Add(drained + interrupts)
+	m.met.delivered.Add(drained)
+	m.met.interrupts.Add(interrupts)
 	return mb
 }
 
@@ -270,9 +310,8 @@ func (m *Messenger) route(ctx context.Context, msg naplet.Message, hint string) 
 	if server == "" {
 		return ConfirmBody{}, fmt.Errorf("messenger: no route to %s", msg.To)
 	}
-	m.mu.Lock()
-	m.stats.Posted++
-	m.mu.Unlock()
+	m.met.posted.Inc()
+	start := time.Now()
 	confirm, err := m.send(ctx, server, PostBody{Msg: msg})
 	if err != nil {
 		if m.loc != nil {
@@ -280,6 +319,7 @@ func (m *Messenger) route(ctx context.Context, msg naplet.Message, hint string) 
 		}
 		return ConfirmBody{}, err
 	}
+	m.met.confirmRTT.ObserveDuration(time.Since(start))
 	if m.loc != nil && confirm.Delivered {
 		m.loc.Refresh(msg.To, confirm.Server)
 	}
@@ -343,9 +383,7 @@ func (m *Messenger) deliverOrForward(ctx context.Context, body PostBody) (Confir
 			if body.Hops+1 > m.cfg.MaxHops {
 				return ConfirmBody{}, fmt.Errorf("%w: %d", ErrHopsExceeded, body.Hops)
 			}
-			m.mu.Lock()
-			m.stats.Forwarded++
-			m.mu.Unlock()
+			m.met.forwarded.Inc()
 			next := PostBody{Msg: body.Msg, Hops: body.Hops + 1}
 			return m.send(ctx, tr.Dest, next)
 		}
@@ -363,10 +401,10 @@ func (m *Messenger) deliverOrForward(ctx context.Context, body PostBody) (Confir
 
 func (m *Messenger) hold(body PostBody) ConfirmBody {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	key := body.Msg.To.Key()
 	m.special[key] = append(m.special[key], body.Msg)
-	m.stats.Held++
+	m.mu.Unlock()
+	m.met.held.Inc()
 	return ConfirmBody{Held: true, Server: m.server, Hops: body.Hops}
 }
 
@@ -378,22 +416,18 @@ func (m *Messenger) deliverLocal(msg naplet.Message) bool {
 		sink := m.interrupt
 		m.mu.Unlock()
 		if sink != nil && sink(msg.To, msg) {
-			m.mu.Lock()
-			m.stats.Interrupts++
-			m.mu.Unlock()
+			m.met.interrupts.Inc()
 			return true
 		}
 		return false
 	}
 	m.mu.Lock()
 	mb, ok := m.mailboxes[msg.To.Key()]
-	if ok {
-		m.stats.Delivered++
-	}
 	m.mu.Unlock()
 	if !ok {
 		return false
 	}
+	m.met.delivered.Inc()
 	mb.put(msg)
 	return true
 }

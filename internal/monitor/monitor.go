@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/id"
 	"repro/internal/naplet"
+	"repro/internal/telemetry"
 )
 
 // Policy bounds one naplet's resource consumption at a server.
@@ -99,9 +100,58 @@ var (
 type Monitor struct {
 	sched *Scheduler
 	clock func() time.Time
+	met   atomic.Pointer[monMetrics]
 
 	mu     sync.Mutex
 	groups map[string]*Group
+}
+
+// monMetrics holds the monitor's registered telemetry handles. Every
+// helper is safe on a nil receiver so uninstrumented monitors pay only a
+// nil check.
+type monMetrics struct {
+	admissions *telemetry.Counter
+	kills      *telemetry.Counter
+	exhausted  *telemetry.Counter
+	traps      *telemetry.Counter
+}
+
+func (mm *monMetrics) admitted() {
+	if mm != nil {
+		mm.admissions.Inc()
+	}
+}
+
+func (mm *monMetrics) killed() {
+	if mm != nil {
+		mm.kills.Inc()
+	}
+}
+
+func (mm *monMetrics) budgetExhausted() {
+	if mm != nil {
+		mm.exhausted.Inc()
+	}
+}
+
+func (mm *monMetrics) trapped() {
+	if mm != nil {
+		mm.traps.Inc()
+	}
+}
+
+// Instrument registers the monitor's counters and a resident-group gauge
+// in reg.
+func (m *Monitor) Instrument(reg *telemetry.Registry) {
+	m.met.Store(&monMetrics{
+		admissions: reg.Counter("naplet_monitor_admissions_total", "naplet groups admitted"),
+		kills:      reg.Counter("naplet_monitor_kills_total", "naplet groups killed"),
+		exhausted:  reg.Counter("naplet_monitor_budget_exhausted_total", "resource-budget violations (cpu/memory/bandwidth)"),
+		traps:      reg.Counter("naplet_monitor_traps_total", "execution exceptions trapped"),
+	})
+	reg.GaugeFunc("naplet_monitor_resident_groups", "currently admitted naplet groups", func() float64 {
+		return float64(m.Resident())
+	})
 }
 
 // New creates a monitor with the given number of concurrent execution
@@ -144,6 +194,7 @@ func (m *Monitor) Admit(nid id.NapletID, policy Policy) (*Group, error) {
 	}
 	close(g.resume) // not suspended
 	m.groups[key] = g
+	m.met.Load().admitted()
 	return g, nil
 }
 
@@ -292,6 +343,7 @@ func (g *Group) confined(f func(ctx context.Context) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			g.traps.Add(1)
+			g.monitor.met.Load().trapped()
 			err = fmt.Errorf("monitor: trapped naplet panic: %v", r)
 		}
 		elapsed := g.monitor.clock().Sub(start)
@@ -339,6 +391,7 @@ func (g *Group) Checkpoint() error {
 func (g *Group) charge(counter *atomic.Int64, amount, limit int64, what string) error {
 	total := counter.Add(amount)
 	if limit > 0 && total > limit {
+		g.monitor.met.Load().budgetExhausted()
 		g.Kill()
 		return fmt.Errorf("%w: %s %d > %d", ErrBudgetExceeded, what, total, limit)
 	}
@@ -366,6 +419,7 @@ func (g *Group) Kill() {
 	if g.killed.Swap(true) {
 		return
 	}
+	g.monitor.met.Load().killed()
 	g.stateMu.Lock()
 	g.state = StateKilled
 	g.stateMu.Unlock()
@@ -453,6 +507,7 @@ func (g *Group) dispatchInterrupt(h func(naplet.Message), msg naplet.Message) {
 		defer func() {
 			if r := recover(); r != nil {
 				g.traps.Add(1)
+				g.monitor.met.Load().trapped()
 			}
 		}()
 		h(msg)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/naplet"
 	"repro/internal/registry"
 	"repro/internal/security"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -134,7 +135,9 @@ type Breakdown struct {
 	CodeBytes   int
 }
 
-// Stats counts navigator activity.
+// Stats is a point-in-time snapshot of navigator activity. The counters
+// live in the telemetry registry; Stats is the legacy view built by
+// Navigator.Stats.
 type Stats struct {
 	Dispatched  int64
 	Landed      int64
@@ -143,6 +146,32 @@ type Stats struct {
 	CodePulled  int64
 	CodeServed  int64
 	HomeReports int64
+}
+
+// metrics holds the navigator's registered telemetry handles.
+type metrics struct {
+	dispatched  *telemetry.Counter
+	landed      *telemetry.Counter
+	refused     *telemetry.Counter
+	codePushed  *telemetry.Counter
+	codePulled  *telemetry.Counter
+	codeServed  *telemetry.Counter
+	homeReports *telemetry.Counter
+	hopLatency  *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		dispatched:  reg.Counter("naplet_navigator_dispatched_total", "naplets dispatched from this server"),
+		landed:      reg.Counter("naplet_navigator_landed_total", "naplets landed at this server"),
+		refused:     reg.Counter("naplet_navigator_refused_total", "landings refused (security or admission)"),
+		codePushed:  reg.Counter("naplet_navigator_code_pushed_total", "code bundles attached to outbound transfers"),
+		codePulled:  reg.Counter("naplet_navigator_code_pulled_total", "code bundles fetched from naplet homes"),
+		codeServed:  reg.Counter("naplet_navigator_code_served_total", "code bundles served to cold caches"),
+		homeReports: reg.Counter("naplet_navigator_home_reports_total", "arrival/departure events reported to homes"),
+		hopLatency: reg.Histogram("naplet_navigator_hop_latency_seconds",
+			"end-to-end migration (dispatch) latency", telemetry.LatencyBuckets),
+	}
 }
 
 // LandFunc receives an accepted naplet for execution; the server's visit
@@ -163,6 +192,12 @@ type Config struct {
 	ReportHome bool
 	// CallTimeout bounds each protocol call (default 30s).
 	CallTimeout time.Duration
+	// Telemetry receives the navigator's counters and hop-latency
+	// histogram; nil uses a private registry.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one HopSpan per dispatch attempt,
+	// extending the paper's NavigationLog with cost and outcome detail.
+	Tracer *telemetry.HopTracer
 }
 
 // Navigator is the per-server migration component.
@@ -183,13 +218,7 @@ type Navigator struct {
 	acceptedMu sync.Mutex
 	accepted   map[string]string // naplet key -> last accepted transfer ID
 
-	dispatched  atomic.Int64
-	landed      atomic.Int64
-	refused     atomic.Int64
-	codePushed  atomic.Int64
-	codePulled  atomic.Int64
-	codeServed  atomic.Int64
-	homeReports atomic.Int64
+	met *metrics
 }
 
 // New builds a navigator. sec may be nil (no permission checks); cache must
@@ -201,6 +230,10 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 	if clock == nil {
 		clock = time.Now
 	}
+	treg := cfg.Telemetry
+	if treg == nil {
+		treg = telemetry.NewRegistry()
+	}
 	return &Navigator{
 		cfg:      cfg,
 		server:   server,
@@ -210,6 +243,7 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 		reg:      reg,
 		cache:    cache,
 		clock:    clock,
+		met:      newMetrics(treg),
 		accepted: make(map[string]string),
 	}
 }
@@ -227,16 +261,17 @@ func (n *Navigator) SetLandFunc(f LandFunc) { n.onLand = f }
 // SetAdmitFunc installs the resource-admission veto.
 func (n *Navigator) SetAdmitFunc(f AdmitFunc) { n.admit = f }
 
-// Stats returns activity counters.
+// Stats snapshots the navigator's activity counters from the telemetry
+// registry.
 func (n *Navigator) Stats() Stats {
 	return Stats{
-		Dispatched:  n.dispatched.Load(),
-		Landed:      n.landed.Load(),
-		Refused:     n.refused.Load(),
-		CodePushed:  n.codePushed.Load(),
-		CodePulled:  n.codePulled.Load(),
-		CodeServed:  n.codeServed.Load(),
-		HomeReports: n.homeReports.Load(),
+		Dispatched:  n.met.dispatched.Value(),
+		Landed:      n.met.landed.Value(),
+		Refused:     n.met.refused.Value(),
+		CodePushed:  n.met.codePushed.Value(),
+		CodePulled:  n.met.codePulled.Value(),
+		CodeServed:  n.met.codeServed.Value(),
+		HomeReports: n.met.homeReports.Value(),
 	}
 }
 
@@ -270,8 +305,45 @@ func (n *Navigator) Dispatch(ctx context.Context, rec *naplet.Record, dest strin
 }
 
 // DispatchID is Dispatch with a caller-supplied transfer ID; retries of
-// the same logical migration must reuse the ID.
+// the same logical migration must reuse the ID. Every attempt records a
+// hop span when a tracer is configured; successful dispatches also feed
+// the hop-latency histogram.
 func (n *Navigator) DispatchID(ctx context.Context, rec *naplet.Record, dest, transferID string) (Breakdown, error) {
+	hop := rec.Log.Len()
+	wallStart := n.clock()
+	bd, err := n.dispatchID(ctx, rec, dest, transferID)
+	if err == nil {
+		n.met.hopLatency.ObserveDuration(bd.Total)
+	}
+	if n.cfg.Tracer != nil {
+		span := telemetry.HopSpan{
+			Naplet:      rec.ID.Key(),
+			Hop:         hop,
+			From:        n.server,
+			To:          dest,
+			Start:       wallStart,
+			Serialize:   bd.Serialize,
+			Negotiation: bd.Negotiation,
+			Transfer:    bd.Transfer,
+			Total:       bd.Total,
+			RecordBytes: bd.RecordBytes,
+			CodeBytes:   bd.CodeBytes,
+			Outcome:     telemetry.OutcomeOK,
+		}
+		if err != nil {
+			span.Outcome = telemetry.OutcomeFailed
+			if errors.Is(err, ErrLandingDenied) {
+				span.Outcome = telemetry.OutcomeRefused
+			}
+			span.Err = err.Error()
+			span.Total = n.clock().Sub(wallStart)
+		}
+		n.cfg.Tracer.Record(span)
+	}
+	return bd, err
+}
+
+func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, transferID string) (Breakdown, error) {
 	var bd Breakdown
 	start := n.clock()
 
@@ -328,7 +400,7 @@ func (n *Navigator) DispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 		}
 		transfer.Code = bundle
 		bd.CodeBytes = len(bundle)
-		n.codePushed.Add(1)
+		n.met.codePushed.Inc()
 	}
 	trStart := n.clock()
 	tf, err := wire.NewFrame(wire.KindNapletTransfer, "", "", &transfer)
@@ -369,7 +441,7 @@ func (n *Navigator) DispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 		_ = n.mgr.RecordDeparture(rec.ID, dest, now)
 	}
 	rec.Log.RecordDeparture(n.server, now)
-	n.dispatched.Add(1)
+	n.met.dispatched.Inc()
 	bd.Total = n.clock().Sub(start)
 	return bd, nil
 }
@@ -395,7 +467,7 @@ func (n *Navigator) RegisterEvent(ctx context.Context, rec *naplet.Record, ev di
 			cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
 			_, _ = n.node.Call(cctx, rec.Home, f)
 			cancel()
-			n.homeReports.Add(1)
+			n.met.homeReports.Inc()
 		}
 	}
 	if n.cfg.ReportHome && rec.Home == n.server && n.mgr != nil {
@@ -414,14 +486,14 @@ func (n *Navigator) HandleLandingRequest(from string, f wire.Frame) (wire.Frame,
 	reply := LandingReplyBody{}
 	if n.sec != nil {
 		if err := n.sec.CheckLanding(&req.Credential); err != nil {
-			n.refused.Add(1)
+			n.met.refused.Inc()
 			reply.Reason = err.Error()
 			return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
 		}
 	}
 	if n.admit != nil {
 		if err := n.admit(req); err != nil {
-			n.refused.Add(1)
+			n.met.refused.Inc()
 			reply.Reason = err.Error()
 			return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
 		}
@@ -458,12 +530,12 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	// is not trusted to match the transfer.
 	if n.sec != nil {
 		if err := n.sec.CheckLanding(&rec.Credential); err != nil {
-			n.refused.Add(1)
+			n.met.refused.Inc()
 			return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
 		}
 	}
 	if !rec.Credential.NapletID.Equal(rec.ID) {
-		n.refused.Add(1)
+		n.met.refused.Inc()
 		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: "credential does not certify this naplet"})
 	}
 
@@ -494,7 +566,7 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	}
 	rec.Log.RecordArrival(n.server, now)
 	n.RegisterEvent(context.Background(), rec, directory.Arrival, n.server, now)
-	n.landed.Add(1)
+	n.met.landed.Inc()
 	if transfer.TransferID != "" {
 		n.acceptedMu.Lock()
 		n.accepted[rec.ID.Key()] = transfer.TransferID
@@ -525,7 +597,7 @@ func (n *Navigator) pullCode(rec *naplet.Record) error {
 		return err
 	}
 	n.cache.Loaded(rec.Codebase, len(bundle.Data))
-	n.codePulled.Add(1)
+	n.met.codePulled.Inc()
 	return nil
 }
 
@@ -539,7 +611,7 @@ func (n *Navigator) HandleCodeFetch(from string, f wire.Frame) (wire.Frame, erro
 	if err != nil {
 		return wire.Frame{}, err
 	}
-	n.codeServed.Add(1)
+	n.met.codeServed.Inc()
 	return wire.NewFrame(wire.KindCodeBundle, f.To, f.From, &CodeBundleBody{Data: data})
 }
 

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -118,6 +119,17 @@ type Network struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	met atomic.Pointer[transport.Metrics]
+}
+
+// Instrument registers the fabric's traffic counters and per-kind call
+// latency histograms in reg, using the same series names as the TCP
+// fabric, so experiments over the simulated network and real deployments
+// read identically on /metrics. Latency observations are wall-clock (the
+// scaled simulated sleeps), matching what a caller actually waited.
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	n.met.Store(transport.NewMetrics(reg))
 }
 
 // New creates a simulated network with the given configuration.
@@ -330,6 +342,12 @@ func (s *simNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 	f.To = to
 	f.Seq = s.seq.Add(1)
 
+	met := s.net.met.Load()
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
+
 	peer, ok := s.net.node(to)
 	if !ok || peer.closed.Load() {
 		return wire.Frame{}, fmt.Errorf("%w: %s", transport.ErrUnknownPeer, to)
@@ -380,6 +398,11 @@ func (s *simNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 		return wire.Frame{}, err
 	}
 
+	if met != nil {
+		met.Sent(&f)
+		met.Recv(&reply)
+		met.ObserveCall(f.Kind, time.Since(start))
+	}
 	if werr := transport.IsErrorReply(f.Kind, reply); werr != nil {
 		return reply, werr
 	}

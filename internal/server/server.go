@@ -33,6 +33,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/resource"
 	"repro/internal/security"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -77,6 +78,12 @@ type Config struct {
 	DispatchRetryDelay time.Duration
 	// Clock is the server time source; nil means time.Now.
 	Clock func() time.Time
+	// Telemetry collects every component's metrics; nil creates a
+	// per-server registry (retrievable via Server.Telemetry).
+	Telemetry *telemetry.Registry
+	// Tracer records one span per migration hop; nil creates a per-server
+	// tracer (retrievable via Server.Tracer).
+	Tracer *telemetry.HopTracer
 }
 
 // Server is one naplet server: a dock of naplets on a host.
@@ -86,15 +93,17 @@ type Server struct {
 	node  transport.Node
 	clock func() time.Time
 
-	reg   *registry.Registry
-	cache *registry.Cache
-	sec   *security.Manager
-	res   *resource.Manager
-	mon   *monitor.Monitor
-	mgr   *manager.Manager
-	loc   *locator.Locator
-	msgr  *messenger.Messenger
-	nav   *navigator.Navigator
+	reg    *registry.Registry
+	cache  *registry.Cache
+	sec    *security.Manager
+	res    *resource.Manager
+	mon    *monitor.Monitor
+	mgr    *manager.Manager
+	loc    *locator.Locator
+	msgr   *messenger.Messenger
+	nav    *navigator.Navigator
+	telem  *telemetry.Registry
+	tracer *telemetry.HopTracer
 
 	mintMu sync.Mutex
 	minted map[string]time.Time
@@ -123,12 +132,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Policy != nil {
 		policy = *cfg.Policy
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.NewHopTracer(0)
+	}
 
 	s := &Server{
 		cfg:    cfg,
 		clock:  clock,
 		reg:    cfg.Registry,
 		cache:  registry.NewCache(),
+		telem:  cfg.Telemetry,
+		tracer: cfg.Tracer,
 		minted: make(map[string]time.Time),
 		ready:  make(chan struct{}),
 		closed: make(chan struct{}),
@@ -145,18 +162,27 @@ func New(cfg Config) (*Server, error) {
 	s.sec = security.NewManager(cfg.KeyRing, policy, clock)
 	s.res = resource.NewManager(s.sec)
 	s.mon = monitor.New(cfg.Slots, clock)
+	s.mon.Instrument(s.telem)
 	s.mgr = manager.New(s.name, clock)
+	s.telem.GaugeFunc("naplet_server_residents", "naplets currently resident at this server", func() float64 {
+		return float64(s.mgr.Resident())
+	})
 
 	s.loc = locator.New(locator.Config{
 		Mode:          cfg.LocatorMode,
 		DirectoryAddr: cfg.DirectoryAddr,
 		CacheTTL:      cfg.LocatorTTL,
+		Telemetry:     s.telem,
 	}, node, s.mgr, clock)
-	s.msgr = messenger.New(cfg.Messenger, s.name, node, s.loc, s.mgr, clock)
+	msgrCfg := cfg.Messenger
+	msgrCfg.Telemetry = s.telem
+	s.msgr = messenger.New(msgrCfg, s.name, node, s.loc, s.mgr, clock)
 	s.nav = navigator.New(navigator.Config{
 		CodeDelivery:  cfg.CodeDelivery,
 		DirectoryAddr: cfg.DirectoryAddr,
 		ReportHome:    cfg.ReportHome,
+		Telemetry:     s.telem,
+		Tracer:        s.tracer,
 	}, s.name, node, s.sec, s.mgr, s.reg, s.cache, clock)
 
 	s.nav.SetLandFunc(s.land)
@@ -210,6 +236,12 @@ func (s *Server) Security() *security.Manager { return s.sec }
 
 // Cache returns the server's codebase cache.
 func (s *Server) Cache() *registry.Cache { return s.cache }
+
+// Telemetry returns the server's metrics registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.telem }
+
+// Tracer returns the server's migration hop tracer.
+func (s *Server) Tracer() *telemetry.HopTracer { return s.tracer }
 
 // Close detaches the server and waits for resident visit engines.
 func (s *Server) Close() error {

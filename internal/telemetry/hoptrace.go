@@ -1,0 +1,129 @@
+// Migration hop tracing: one span per naplet migration, recorded by the
+// origin navigator, kept in a bounded ring. Spans extend the paper's
+// NavigationLog (§2.1) — where the log records arrival/departure times the
+// naplet itself observed, spans record what the *platform* spent moving
+// it: serialization, landing negotiation, transfer, bytes, and outcome.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span outcomes.
+const (
+	// OutcomeOK marks a completed migration.
+	OutcomeOK = "ok"
+	// OutcomeRefused marks a landing denied by the destination (policy or
+	// admission); refusals are authoritative and not retried.
+	OutcomeRefused = "refused"
+	// OutcomeFailed marks a transport or protocol failure.
+	OutcomeFailed = "failed"
+)
+
+// HopSpan records one migration attempt of one naplet: the dispatch at the
+// origin through the destination's landing acknowledgement.
+type HopSpan struct {
+	// Naplet is the migrating naplet's identifier (id.NapletID.String()).
+	Naplet string `json:"naplet"`
+	// Hop is the hop index in the naplet's journey: the number of
+	// NavigationLog entries at dispatch time (1 for the first migration
+	// away from home).
+	Hop int `json:"hop"`
+	// From and To are the origin and destination servers.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Start is the dispatch time at the origin.
+	Start time.Time `json:"start"`
+	// Serialize, Negotiation, and Transfer are the migration cost
+	// components (the navigator's Breakdown); Total spans dispatch to
+	// landing acknowledgement.
+	Serialize   time.Duration `json:"serialize_ns"`
+	Negotiation time.Duration `json:"negotiation_ns"`
+	Transfer    time.Duration `json:"transfer_ns"`
+	Total       time.Duration `json:"total_ns"`
+	// RecordBytes and CodeBytes are the moved sizes.
+	RecordBytes int `json:"record_bytes"`
+	CodeBytes   int `json:"code_bytes"`
+	// Outcome is OutcomeOK, OutcomeRefused, or OutcomeFailed; Err carries
+	// the failure detail.
+	Outcome string `json:"outcome"`
+	Err     string `json:"err,omitempty"`
+}
+
+// defaultTracerCapacity bounds the ring when the caller passes ≤ 0.
+const defaultTracerCapacity = 1024
+
+// HopTracer keeps the most recent migration spans in a fixed ring. It is
+// safe for concurrent use; recording is a short critical section (hop
+// tracing sits on the migration path, which is milliseconds, not the
+// nanosecond frame path).
+type HopTracer struct {
+	mu   sync.Mutex
+	ring []HopSpan
+	next int
+	full bool
+}
+
+// NewHopTracer builds a tracer retaining up to capacity spans (≤ 0 means
+// the default of 1024).
+func NewHopTracer(capacity int) *HopTracer {
+	if capacity <= 0 {
+		capacity = defaultTracerCapacity
+	}
+	return &HopTracer{ring: make([]HopSpan, capacity)}
+}
+
+// Record appends a span, evicting the oldest when the ring is full.
+func (t *HopTracer) Record(s HopSpan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// all returns the retained spans oldest-first. Callers hold t.mu.
+func (t *HopTracer) all() []HopSpan {
+	if !t.full {
+		return t.ring[:t.next]
+	}
+	out := make([]HopSpan, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Spans returns the retained spans of one naplet, oldest-first: the
+// platform-side dump that extends the naplet's own NavigationLog.
+func (t *HopTracer) Spans(naplet string) []HopSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []HopSpan
+	for _, s := range t.all() {
+		if s.Naplet == naplet {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// All returns every retained span, oldest-first.
+func (t *HopTracer) All() []HopSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]HopSpan(nil), t.all()...)
+}
+
+// Len reports the number of retained spans.
+func (t *HopTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}

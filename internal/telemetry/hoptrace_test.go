@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func span(naplet string, hop int) HopSpan {
+	return HopSpan{Naplet: naplet, Hop: hop, From: "a", To: "b", Outcome: OutcomeOK}
+}
+
+func TestHopTracerPerNaplet(t *testing.T) {
+	tr := NewHopTracer(16)
+	tr.Record(span("n1", 1))
+	tr.Record(span("n2", 1))
+	tr.Record(span("n1", 2))
+	tr.Record(span("n1", 3))
+
+	got := tr.Spans("n1")
+	if len(got) != 3 {
+		t.Fatalf("spans = %d, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.Hop != i+1 {
+			t.Fatalf("span %d has hop %d, want oldest-first order", i, s.Hop)
+		}
+	}
+	if len(tr.Spans("nx")) != 0 {
+		t.Fatal("unknown naplet must yield no spans")
+	}
+}
+
+func TestHopTracerRingBound(t *testing.T) {
+	tr := NewHopTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(span("n", i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	all := tr.All()
+	if all[0].Hop != 7 || all[3].Hop != 10 {
+		t.Fatalf("ring must keep the newest spans oldest-first: %+v", all)
+	}
+}
+
+func TestHandlerSurfaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("naplet_test_total", "t").Add(3)
+	tr := NewHopTracer(8)
+	tr.Record(span("n1", 1))
+	tr.Record(span("n2", 1))
+
+	healthy := true
+	h := Handler(reg, tr, func() error {
+		if healthy {
+			return nil
+		}
+		return errTest
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "naplet_test_total 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while unready = %d, want 503", code)
+	}
+
+	code, body := get("/spans?naplet=n1")
+	if code != 200 {
+		t.Fatalf("/spans = %d", code)
+	}
+	var spans []HopSpan
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("spans json: %v (%q)", err, body)
+	}
+	if len(spans) != 1 || spans[0].Naplet != "n1" {
+		t.Fatalf("spans = %+v, want one n1 span", spans)
+	}
+}
+
+var errTest = errorString("not ready")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

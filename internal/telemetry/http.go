@@ -1,0 +1,51 @@
+// HTTP exposition surface for cmd/napletd: /metrics in Prometheus text
+// format, /healthz readiness, and /spans for per-naplet migration traces.
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the daemon's runtime surface:
+//
+//	GET /metrics            Prometheus text format (version 0.0.4)
+//	GET /healthz            200 "ok" when ready() returns nil, else 503
+//	GET /spans              all retained migration spans, JSON
+//	GET /spans?naplet=<id>  spans of one naplet, oldest-first, JSON
+//
+// tracer and ready may be nil: a nil tracer serves empty span lists and a
+// nil ready reports always-healthy.
+func Handler(reg *Registry, tracer *HopTracer, ready func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := []HopSpan{}
+		if tracer != nil {
+			if nid := r.URL.Query().Get("naplet"); nid != "" {
+				spans = tracer.Spans(nid)
+			} else {
+				spans = tracer.All()
+			}
+		}
+		if spans == nil {
+			spans = []HopSpan{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(spans)
+	})
+	return mux
+}

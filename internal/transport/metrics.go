@@ -1,0 +1,93 @@
+// Fabric instrumentation: frame and byte counters plus per-kind call
+// latency histograms, shared by both fabric implementations (TCP here,
+// netsim in its own package). A nil *Metrics is a valid no-op receiver, so
+// uninstrumented fabrics pay only a nil check on the hot path.
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Metrics holds a fabric's telemetry handles. Build one with NewMetrics
+// against the server's registry; every method is safe on a nil receiver.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	framesSent *telemetry.Counter
+	framesRecv *telemetry.Counter
+	bytesSent  *telemetry.Counter
+	bytesRecv  *telemetry.Counter
+	callErrors *telemetry.Counter
+
+	// latency caches per-kind call histograms so the hot path resolves a
+	// kind with one lock-free map read instead of label formatting.
+	latency sync.Map // wire.Kind -> *telemetry.Histogram
+}
+
+// NewMetrics registers the fabric's series in reg and also exposes the
+// wire package's encode-buffer pool counters (sampled at scrape time).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{
+		reg:        reg,
+		framesSent: reg.Counter("naplet_transport_frames_sent_total", "frames written to the fabric"),
+		framesRecv: reg.Counter("naplet_transport_frames_recv_total", "frames read from the fabric"),
+		bytesSent:  reg.Counter("naplet_transport_bytes_sent_total", "encoded bytes written to the fabric"),
+		bytesRecv:  reg.Counter("naplet_transport_bytes_recv_total", "encoded bytes read from the fabric"),
+		callErrors: reg.Counter("naplet_transport_call_errors_total", "calls that failed at the transport level"),
+	}
+	reg.CounterFunc("naplet_wire_encbuf_gets_total", "encode-buffer pool acquisitions", func() float64 {
+		gets, _ := wire.PoolCounters()
+		return float64(gets)
+	})
+	reg.CounterFunc("naplet_wire_encbuf_misses_total", "encode-buffer pool misses (fresh allocations)", func() float64 {
+		_, misses := wire.PoolCounters()
+		return float64(misses)
+	})
+	return m
+}
+
+// Sent charges one outbound frame.
+func (m *Metrics) Sent(f *wire.Frame) {
+	if m == nil {
+		return
+	}
+	m.framesSent.Inc()
+	m.bytesSent.Add(int64(f.EncodedSize()))
+}
+
+// Recv charges one inbound frame.
+func (m *Metrics) Recv(f *wire.Frame) {
+	if m == nil {
+		return
+	}
+	m.framesRecv.Inc()
+	m.bytesRecv.Add(int64(f.EncodedSize()))
+}
+
+// CallError counts a transport-level call failure.
+func (m *Metrics) CallError() {
+	if m == nil {
+		return
+	}
+	m.callErrors.Inc()
+}
+
+// ObserveCall records one request/reply round trip for the frame kind.
+func (m *Metrics) ObserveCall(kind wire.Kind, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if h, ok := m.latency.Load(kind); ok {
+		h.(*telemetry.Histogram).ObserveDuration(d)
+		return
+	}
+	h := m.reg.Histogram("naplet_transport_call_latency_seconds",
+		"request/reply round-trip latency by frame kind",
+		telemetry.LatencyBuckets, "kind", string(kind))
+	m.latency.Store(kind, h)
+	h.ObserveDuration(d)
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -67,12 +68,23 @@ var (
 type TCPFabric struct {
 	mu    sync.Mutex
 	nodes map[string]*tcpNode
+	met   atomic.Pointer[Metrics]
 }
 
 // NewTCPFabric returns an empty TCP fabric.
 func NewTCPFabric() *TCPFabric {
 	return &TCPFabric{nodes: make(map[string]*tcpNode)}
 }
+
+// Instrument registers the fabric's traffic counters and per-kind call
+// latency histograms in reg. Frames exchanged from then on are metered;
+// call it before serving traffic for complete counts.
+func (f *TCPFabric) Instrument(reg *telemetry.Registry) {
+	f.met.Store(NewMetrics(reg))
+}
+
+// metrics returns the fabric's metrics, nil when uninstrumented.
+func (f *TCPFabric) metrics() *Metrics { return f.met.Load() }
 
 // Attach listens on addr and serves inbound frames with h. If addr has port
 // 0 the system picks a free port; use the returned node's Addr for the
@@ -215,6 +227,8 @@ func (n *tcpNode) serveConn(conn net.Conn) {
 			return // EOF or broken peer
 		}
 		scratch = grown
+		met := n.fabric.metrics()
+		met.Recv(&req)
 		reply, err := n.safeHandle(req)
 		if err != nil {
 			reply = ErrorReply(req, err)
@@ -223,6 +237,7 @@ func (n *tcpNode) serveConn(conn net.Conn) {
 		if err := wire.WriteFrame(conn, reply); err != nil {
 			return
 		}
+		met.Sent(&reply)
 	}
 }
 
@@ -282,6 +297,11 @@ func (n *tcpNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 	f.To = to
 	f.Seq = n.seq.Add(1)
 
+	met := n.fabric.metrics()
+	start := time.Time{}
+	if met != nil {
+		start = time.Now()
+	}
 	reply, reused, err := n.exchange(ctx, to, f)
 	if err != nil && reused {
 		// The pooled connection had gone stale (peer closed it while
@@ -289,7 +309,13 @@ func (n *tcpNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 		reply, _, err = n.exchange(ctx, to, f)
 	}
 	if err != nil {
+		met.CallError()
 		return wire.Frame{}, err
+	}
+	if met != nil {
+		met.Sent(&f)
+		met.Recv(&reply)
+		met.ObserveCall(f.Kind, time.Since(start))
 	}
 	if werr := IsErrorReply(f.Kind, reply); werr != nil {
 		return reply, werr

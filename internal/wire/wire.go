@@ -32,6 +32,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind identifies the protocol operation a frame carries.
@@ -242,9 +243,22 @@ func Decode(data []byte) (Frame, int, error) {
 // grew past maxPooledBuf are dropped rather than pinned in the pool.
 var encBufPool = sync.Pool{
 	New: func() any {
+		encBufMisses.Add(1)
 		b := make([]byte, 0, 4096)
 		return &b
 	},
+}
+
+// Pool accounting: gets counts every WriteFrame buffer acquisition, misses
+// counts the ones the pool could not satisfy (fresh allocations). The
+// telemetry layer samples these at scrape time via PoolCounters, keeping
+// this package dependency-free.
+var encBufGets, encBufMisses atomic.Int64
+
+// PoolCounters reports the encode-buffer pool activity since process
+// start: total gets and misses (hits = gets - misses).
+func PoolCounters() (gets, misses int64) {
+	return encBufGets.Load(), encBufMisses.Load()
 }
 
 const maxPooledBuf = 64 << 10
@@ -252,6 +266,7 @@ const maxPooledBuf = 64 << 10
 // WriteFrame writes the frame's wire form to w using a pooled buffer, so
 // steady-state writes do not allocate.
 func WriteFrame(w io.Writer, f Frame) error {
+	encBufGets.Add(1)
 	bp := encBufPool.Get().(*[]byte)
 	buf, err := appendFrame((*bp)[:0], &f)
 	if err != nil {
