@@ -7,7 +7,15 @@ verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/...
+	$(MAKE) chaos
+
+# chaos runs the seeded fault-injection suite under the race detector: ten
+# fixed seeds driving tours and message streams through drops, dropped
+# replies, duplicates, crashes and partitions. Reproduce a failing seed
+# with: go test ./internal/server/ -run TestChaosSeeds -chaos.seed=N -v
+chaos:
+	go test -race -count=1 -run TestChaosSeeds ./internal/server/
 
 # bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
 # PRs compare against. Samples each benchmark 5 times with allocation
@@ -28,4 +36,4 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzDecode -fuzztime 15s ./internal/wire/
 	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
 
-.PHONY: verify bench bench-telemetry fuzz
+.PHONY: verify chaos bench bench-telemetry fuzz

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/directory"
+	"repro/internal/fault"
 	"repro/internal/locator"
 	"repro/internal/man"
 	"repro/internal/naplet"
@@ -79,16 +80,38 @@ func main() {
 	community := flag.String("community", "public", "SNMP community of the local simulated device")
 	slots := flag.Int("slots", 0, "concurrent naplet execution slots (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics, /healthz and /spans (empty = disabled)")
+	dispatchRetries := flag.Int("dispatch-retries", 8, "migration retry budget per hop (exponential backoff)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable the deterministic fault injector with this seed (0 = off)")
+	chaosDrop := flag.Float64("chaos-drop", 0.05, "chaos: probability of dropping a request frame")
+	chaosDup := flag.Float64("chaos-dup", 0.05, "chaos: probability of duplicating a frame")
+	chaosDelay := flag.Float64("chaos-delay", 0.05, "chaos: probability of a latency spike")
 	flag.Parse()
 
 	reg, err := buildRegistry()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fabric := transport.NewTCPFabric()
+	tcp := transport.NewTCPFabric()
 	telem := telemetry.NewRegistry()
 	tracer := telemetry.NewHopTracer(0)
-	fabric.Instrument(telem)
+	tcp.Instrument(telem)
+
+	var fabric transport.Fabric = tcp
+	if *chaosSeed != 0 {
+		inj := fault.New(fault.Config{
+			Seed: *chaosSeed,
+			P: fault.Probabilities{
+				DropRequest: *chaosDrop,
+				Duplicate:   *chaosDup,
+				Delay:       *chaosDelay,
+			},
+			DelaySpike: 5 * time.Millisecond,
+			Telemetry:  telem,
+		})
+		fabric = inj.Fabric(tcp)
+		log.Printf("napletd: CHAOS fault injection enabled (seed %d, drop %.2f, dup %.2f, delay %.2f)",
+			*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
+	}
 
 	mode := locator.ModeForward
 	if *dirAddr != "" {
@@ -119,6 +142,9 @@ func main() {
 		Slots:         *slots,
 		Telemetry:     telem,
 		Tracer:        tracer,
+		// Real deployments tolerate transient loss: retry with the
+		// navigator's default exponential backoff (25ms -> 2s).
+		DispatchRetries: *dispatchRetries,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// kindPing is the frame kind used by injector tests.
+const kindPing = wire.Kind("fault.test-ping")
+
+// pingBody is a trivial frame payload (frames cannot carry a nil body).
+type pingBody struct{ N int }
+
+// rig attaches an echoing peer and a caller through the injector's fabric.
+type rig struct {
+	inj    *Injector
+	caller transport.Node
+	served atomic.Int64 // handler invocations at the peer
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	r := &rig{inj: New(cfg)}
+	fab := r.inj.Fabric(netsim.New(netsim.Config{}))
+	echo := func(from string, f wire.Frame) (wire.Frame, error) {
+		r.served.Add(1)
+		return wire.NewFrame(kindPing, f.To, f.From, &pingBody{})
+	}
+	if _, err := fab.Attach("peer", echo); err != nil {
+		t.Fatal(err)
+	}
+	caller, err := fab.Attach("caller", func(string, wire.Frame) (wire.Frame, error) {
+		return wire.Frame{}, errors.New("caller serves nothing")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.caller = caller
+	return r
+}
+
+func (r *rig) ping(t *testing.T) error {
+	t.Helper()
+	f, err := wire.NewFrame(kindPing, "", "", &pingBody{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = r.caller.Call(ctx, "peer", f)
+	return err
+}
+
+// faults projects a trail onto its (call number, fault kind) sequence.
+func faults(trail []Event) []string {
+	out := make([]string, len(trail))
+	for i, ev := range trail {
+		out[i] = fmt.Sprintf("%d:%s/%s", ev.Seq, ev.Fault, ev.Detail)
+	}
+	return out
+}
+
+func TestSameSeedSameFaults(t *testing.T) {
+	// The injector's whole point: one int64 reproduces the fault pattern.
+	cfg := Config{Seed: 42, P: Probabilities{DropRequest: 0.2, DropReply: 0.1, Duplicate: 0.1, Delay: 0.1}}
+	run := func() []string {
+		r := newRig(t, cfg)
+		for i := 0; i < 200; i++ {
+			_ = r.ping(t)
+		}
+		return faults(r.inj.Trail())
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("expected some injected faults at these rates")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("trail lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("trail diverges at %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+}
+
+func TestDifferentSeedDifferentFaults(t *testing.T) {
+	run := func(seed int64) []int64 {
+		r := newRig(t, Config{Seed: seed, P: Probabilities{DropRequest: 0.3}})
+		for i := 0; i < 100; i++ {
+			_ = r.ping(t)
+		}
+		var seqs []int64
+		for _, ev := range r.inj.Trail() {
+			seqs = append(seqs, ev.Seq)
+		}
+		return seqs
+	}
+	a, b := run(1), run(2)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds dropped exactly the same calls")
+		}
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	r := newRig(t, Config{})
+	r.inj.Crash("peer")
+	if err := r.ping(t); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("call to crashed node: %v", err)
+	}
+	if r.served.Load() != 0 {
+		t.Fatal("crashed node must not serve")
+	}
+	r.inj.Restart("peer")
+	if err := r.ping(t); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	// Calls *from* a crashed node fail too.
+	r.inj.Crash("caller")
+	if err := r.ping(t); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("call from crashed node: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	r := newRig(t, Config{})
+	r.inj.Partition("caller", "peer")
+	if err := r.ping(t); !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("call across partition: %v", err)
+	}
+	r.inj.Heal("caller", "peer")
+	if err := r.ping(t); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestDropRequestSkipsHandler(t *testing.T) {
+	r := newRig(t, Config{P: Probabilities{DropRequest: 1}})
+	if err := r.ping(t); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want injected drop, got %v", err)
+	}
+	if r.served.Load() != 0 {
+		t.Fatal("dropped request must not reach the handler")
+	}
+}
+
+func TestDropReplyRunsHandler(t *testing.T) {
+	// The defining property of the delayed-reply fault: the caller sees an
+	// error but the side effect happened.
+	r := newRig(t, Config{P: Probabilities{DropReply: 1}})
+	if err := r.ping(t); !errors.Is(err, ErrInjectedReplyDrop) {
+		t.Fatalf("want injected reply drop, got %v", err)
+	}
+	if got := r.served.Load(); got != 1 {
+		t.Fatalf("handler ran %d times, want 1", got)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	r := newRig(t, Config{P: Probabilities{Duplicate: 1}})
+	if err := r.ping(t); err != nil {
+		t.Fatalf("duplicated call must still succeed: %v", err)
+	}
+	if got := r.served.Load(); got != 2 {
+		t.Fatalf("handler ran %d times, want 2", got)
+	}
+}
+
+func TestDelayStillDelivers(t *testing.T) {
+	r := newRig(t, Config{P: Probabilities{Delay: 1}, DelaySpike: time.Millisecond})
+	start := time.Now()
+	if err := r.ping(t); err != nil {
+		t.Fatalf("delayed call must succeed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("delay spike not applied: %v", elapsed)
+	}
+	if r.served.Load() != 1 {
+		t.Fatal("delayed frame must be delivered once")
+	}
+}
+
+func TestKindsFilterLimitsFaults(t *testing.T) {
+	r := newRig(t, Config{
+		P:     Probabilities{DropRequest: 1},
+		Kinds: func(k wire.Kind) bool { return k != kindPing },
+	})
+	if err := r.ping(t); err != nil {
+		t.Fatalf("filtered kind must pass untouched: %v", err)
+	}
+}
+
+func TestScheduleFiresOnCallCount(t *testing.T) {
+	r := newRig(t, Config{Schedule: []Step{
+		{AfterCalls: 2, Op: OpCrash, A: "peer"},
+		{AfterCalls: 4, Op: OpRestart, A: "peer"},
+	}})
+	if err := r.ping(t); err != nil { // call 1: before the crash window
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := r.ping(t); !errors.Is(err, ErrCrashed) { // call 2: crash fires
+		t.Fatalf("call 2 should hit the crash: %v", err)
+	}
+	if err := r.ping(t); !errors.Is(err, ErrCrashed) { // call 3: still down
+		t.Fatalf("call 3 should hit the crash: %v", err)
+	}
+	if err := r.ping(t); err != nil { // call 4: restart fires first
+		t.Fatalf("call 4 should succeed after restart: %v", err)
+	}
+}
+
+func TestCountsReconcileWithTrail(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := newRig(t, Config{
+		Seed:      7,
+		P:         Probabilities{DropRequest: 0.3, Duplicate: 0.2},
+		Telemetry: reg,
+	})
+	r.inj.Crash("nobody")
+	r.inj.Restart("nobody")
+	for i := 0; i < 150; i++ {
+		_ = r.ping(t)
+	}
+	tally := make(map[string]int64)
+	for _, ev := range r.inj.Trail() {
+		tally[ev.Fault]++
+	}
+	counts := r.inj.Counts()
+	for _, k := range faultKinds {
+		if counts[k] != tally[k] {
+			t.Fatalf("%s: counts=%d trail=%d", k, counts[k], tally[k])
+		}
+		met := reg.Counter("naplet_fault_injected_total",
+			"faults injected by the chaos harness", "fault", k)
+		if met.Value() != counts[k] {
+			t.Fatalf("%s: telemetry=%d counts=%d", k, met.Value(), counts[k])
+		}
+	}
+}
+
+func TestTrailBounded(t *testing.T) {
+	r := newRig(t, Config{P: Probabilities{DropRequest: 1}, MaxTrail: 4})
+	for i := 0; i < 10; i++ {
+		_ = r.ping(t)
+	}
+	if got := len(r.inj.Trail()); got != 4 {
+		t.Fatalf("trail length = %d, want 4", got)
+	}
+	if got := r.inj.TrailDropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	// Counters keep exact totals even after the trail overflows.
+	if got := r.inj.Counts()[FaultDropRequest]; got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+}

@@ -80,6 +80,7 @@ type Stats struct {
 	HomeQuery  int64 // home-manager round trips
 	Failures   int64
 	CacheEvict int64
+	MissEvict  int64 // cache entries dropped after repeated misses
 }
 
 // Config parameterizes a Locator.
@@ -90,6 +91,11 @@ type Config struct {
 	DirectoryAddr string
 	// CacheTTL bounds the age of cached locations; 0 disables caching.
 	CacheTTL time.Duration
+	// MissThreshold is how many consecutive delivery misses against a
+	// cached location are tolerated before the entry is invalidated
+	// (default 2). A single miss is often a transient network fault —
+	// dropping the cache for it trades a cheap retry for a full lookup.
+	MissThreshold int
 	// Telemetry receives the locator's counters; nil uses a private
 	// registry (counters still work, nothing is exported).
 	Telemetry *telemetry.Registry
@@ -103,6 +109,7 @@ type metrics struct {
 	homeQuery  *telemetry.Counter
 	failures   *telemetry.Counter
 	cacheEvict *telemetry.Counter
+	missEvict  *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -113,6 +120,7 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		homeQuery:  reg.Counter("naplet_locator_home_queries_total", "home-manager round trips"),
 		failures:   reg.Counter("naplet_locator_failures_total", "failed lookups (before hint fallback)"),
 		cacheEvict: reg.Counter("naplet_locator_cache_evictions_total", "cache entries dropped (TTL expiry or invalidation)"),
+		missEvict:  reg.Counter("naplet_locator_miss_invalidations_total", "cache entries dropped after repeated delivery misses"),
 	}
 }
 
@@ -130,8 +138,9 @@ type Locator struct {
 	clock func() time.Time
 	met   *metrics
 
-	mu    sync.Mutex
-	cache map[string]cached
+	mu     sync.Mutex
+	cache  map[string]cached
+	misses map[string]int
 }
 
 // New builds a locator for a server. node is the server's fabric node
@@ -139,6 +148,9 @@ type Locator struct {
 // answer home queries and to shortcut local naplets); nil clock means
 // time.Now.
 func New(cfg Config, node transport.Node, mgr *manager.Manager, clock func() time.Time) *Locator {
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 2
+	}
 	if clock == nil {
 		clock = time.Now
 	}
@@ -147,12 +159,13 @@ func New(cfg Config, node transport.Node, mgr *manager.Manager, clock func() tim
 		reg = telemetry.NewRegistry()
 	}
 	return &Locator{
-		cfg:   cfg,
-		node:  node,
-		mgr:   mgr,
-		clock: clock,
-		met:   newMetrics(reg),
-		cache: make(map[string]cached),
+		cfg:    cfg,
+		node:   node,
+		mgr:    mgr,
+		clock:  clock,
+		met:    newMetrics(reg),
+		cache:  make(map[string]cached),
+		misses: make(map[string]int),
 	}
 }
 
@@ -224,7 +237,8 @@ func (l *Locator) fail() {
 	l.met.failures.Inc()
 }
 
-// remember caches a resolved location.
+// remember caches a resolved location. A fresh location resets the miss
+// streak: the entry has earned its place again.
 func (l *Locator) remember(nid id.NapletID, server string) {
 	if l.cfg.CacheTTL <= 0 {
 		return
@@ -232,6 +246,7 @@ func (l *Locator) remember(nid id.NapletID, server string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.cache[nid.Key()] = cached{server: server, at: l.clock()}
+	delete(l.misses, nid.Key())
 }
 
 // Invalidate drops a cached location, e.g. after a delivery failure or a
@@ -239,10 +254,33 @@ func (l *Locator) remember(nid id.NapletID, server string) {
 func (l *Locator) Invalidate(nid id.NapletID) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	delete(l.misses, nid.Key())
 	if _, ok := l.cache[nid.Key()]; ok {
 		delete(l.cache, nid.Key())
 		l.met.cacheEvict.Inc()
 	}
+}
+
+// Miss records a delivery failure against the naplet's cached location.
+// One miss is tolerated as a likely transient network fault; once the
+// consecutive-miss count reaches MissThreshold the cache entry is dropped
+// so the next Locate performs a real lookup. Reports whether the entry
+// was invalidated.
+func (l *Locator) Miss(nid id.NapletID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := nid.Key()
+	l.misses[key]++
+	if l.misses[key] < l.cfg.MissThreshold {
+		return false
+	}
+	delete(l.misses, key)
+	if _, ok := l.cache[key]; ok {
+		delete(l.cache, key)
+		l.met.cacheEvict.Inc()
+	}
+	l.met.missEvict.Inc()
+	return true
 }
 
 // Refresh updates the cache with a location learned out of band (e.g. from
@@ -320,5 +358,6 @@ func (l *Locator) Stats() Stats {
 		HomeQuery:  l.met.homeQuery.Value(),
 		Failures:   l.met.failures.Value(),
 		CacheEvict: l.met.cacheEvict.Value(),
+		MissEvict:  l.met.missEvict.Value(),
 	}
 }

@@ -211,6 +211,55 @@ func TestInvalidateAndRefresh(t *testing.T) {
 	}
 }
 
+func TestMissThresholdInvalidatesCache(t *testing.T) {
+	r := newRig(t, ModeDirectory, time.Minute)
+	ctx := context.Background()
+	cnode, _ := r.net.Attach("reg", func(string, wire.Frame) (wire.Frame, error) { return wire.Frame{}, nil })
+	directory.NewClient(cnode, "dir").Register(ctx, nid, directory.Arrival, "s7", t0)
+
+	r.s1Loc.Locate(ctx, nid, "")
+	// One delivery miss is tolerated (the naplet may just be mid-hop); the
+	// cached answer survives.
+	if r.s1Loc.Miss(nid) {
+		t.Fatal("first miss must not invalidate")
+	}
+	r.s1Loc.Locate(ctx, nid, "")
+	if s := r.s1Loc.Stats(); s.Directory != 1 || s.CacheHits != 1 {
+		t.Fatalf("cache dropped after a single miss: %+v", s)
+	}
+	// The second consecutive miss crosses the default threshold.
+	if !r.s1Loc.Miss(nid) {
+		t.Fatal("second consecutive miss must invalidate")
+	}
+	r.s1Loc.Locate(ctx, nid, "")
+	s := r.s1Loc.Stats()
+	if s.Directory != 2 {
+		t.Fatalf("stale entry served after miss eviction: %+v", s)
+	}
+	if s.MissEvict != 1 {
+		t.Fatalf("MissEvict = %d, want 1", s.MissEvict)
+	}
+}
+
+func TestMissStreakResetBySuccess(t *testing.T) {
+	r := newRig(t, ModeDirectory, time.Minute)
+	ctx := context.Background()
+	cnode, _ := r.net.Attach("reg", func(string, wire.Frame) (wire.Frame, error) { return wire.Frame{}, nil })
+	directory.NewClient(cnode, "dir").Register(ctx, nid, directory.Arrival, "s7", t0)
+
+	r.s1Loc.Locate(ctx, nid, "")
+	r.s1Loc.Miss(nid)
+	// A successful resolution (fresh lookup or confirmation refresh) wipes
+	// the streak: the next miss counts as the first again.
+	r.s1Loc.Refresh(nid, "s7")
+	if r.s1Loc.Miss(nid) {
+		t.Fatal("streak must reset after a successful resolution")
+	}
+	if s := r.s1Loc.Stats(); s.MissEvict != 0 {
+		t.Fatalf("MissEvict = %d, want 0", s.MissEvict)
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if ModeDirectory.String() != "directory" || ModeHome.String() != "home" || ModeForward.String() != "forward" {
 		t.Fatal("mode names")

@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/dedup"
 	"repro/internal/id"
 	"repro/internal/locator"
 	"repro/internal/manager"
@@ -71,35 +73,44 @@ var (
 // The counters live in the telemetry registry; Stats is the legacy view
 // built by Messenger.Stats.
 type Stats struct {
-	Posted     int64 // messages sent from this server
-	Delivered  int64 // messages delivered into local mailboxes
-	Forwarded  int64 // messages forwarded to another server
-	Held       int64 // messages parked in the special mailbox
-	DrainedH   int64 // held messages later delivered on arrival
-	Interrupts int64 // system messages cast as interrupts
+	Posted      int64 // messages sent from this server
+	Delivered   int64 // messages delivered into local mailboxes
+	Forwarded   int64 // messages forwarded to another server
+	Held        int64 // messages parked in the special mailbox
+	DrainedH    int64 // held messages later delivered on arrival
+	Interrupts  int64 // system messages cast as interrupts
+	Reconfirmed int64 // duplicate deliveries absorbed and re-confirmed
+	Retries     int64 // send/forward re-attempts on transient failures
 }
 
 // metrics holds the messenger's registered telemetry handles.
 type metrics struct {
-	posted     *telemetry.Counter
-	delivered  *telemetry.Counter
-	forwarded  *telemetry.Counter
-	held       *telemetry.Counter
-	drained    *telemetry.Counter
-	interrupts *telemetry.Counter
-	confirmRTT *telemetry.Histogram
+	posted      *telemetry.Counter
+	delivered   *telemetry.Counter
+	forwarded   *telemetry.Counter
+	held        *telemetry.Counter
+	drained     *telemetry.Counter
+	interrupts  *telemetry.Counter
+	reconfirmed *telemetry.Counter
+	retries     *telemetry.Counter
+	confirmRTT  *telemetry.Histogram
+	retryWait   *telemetry.Histogram
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
 	return &metrics{
-		posted:     reg.Counter("naplet_messenger_posted_total", "messages sent from this server"),
-		delivered:  reg.Counter("naplet_messenger_delivered_total", "messages delivered into local mailboxes"),
-		forwarded:  reg.Counter("naplet_messenger_forwarded_total", "messages forwarded along visit traces"),
-		held:       reg.Counter("naplet_messenger_held_total", "messages parked in the special mailbox"),
-		drained:    reg.Counter("naplet_messenger_drained_held_total", "held messages delivered on arrival"),
-		interrupts: reg.Counter("naplet_messenger_interrupts_total", "system messages cast as interrupts"),
+		posted:      reg.Counter("naplet_messenger_posted_total", "messages sent from this server"),
+		delivered:   reg.Counter("naplet_messenger_delivered_total", "messages delivered into local mailboxes"),
+		forwarded:   reg.Counter("naplet_messenger_forwarded_total", "messages forwarded along visit traces"),
+		held:        reg.Counter("naplet_messenger_held_total", "messages parked in the special mailbox"),
+		drained:     reg.Counter("naplet_messenger_drained_held_total", "held messages delivered on arrival"),
+		interrupts:  reg.Counter("naplet_messenger_interrupts_total", "system messages cast as interrupts"),
+		reconfirmed: reg.Counter("naplet_messenger_reconfirmed_total", "duplicate deliveries absorbed and re-confirmed"),
+		retries:     reg.Counter("naplet_messenger_send_retries_total", "post/forward re-attempts on transient failures"),
 		confirmRTT: reg.Histogram("naplet_messenger_confirm_rtt_seconds",
 			"post-to-confirmation round-trip time", telemetry.LatencyBuckets),
+		retryWait: reg.Histogram("naplet_messenger_retry_backoff_seconds",
+			"backoff sleeps between post/forward retries", telemetry.LatencyBuckets),
 	}
 }
 
@@ -113,6 +124,21 @@ type Config struct {
 	MaxHops int
 	// ForwardTimeout bounds each forwarding call (default 10s).
 	ForwardTimeout time.Duration
+	// SendRetries bounds re-attempts of a failed post or forward-chase
+	// leg on transient network errors (default 2; negative disables
+	// retries). The message ID stays stable across retries, so a retry
+	// after a lost confirmation is re-confirmed by the receiver's dedup
+	// window, never re-delivered.
+	SendRetries int
+	// RetryDelay is the initial backoff between send retries; it doubles
+	// per attempt (default 5ms).
+	RetryDelay time.Duration
+	// DedupMax bounds the delivered-message-ID window (default
+	// dedup.DefaultMax).
+	DedupMax int
+	// DedupTTL bounds how long delivered message IDs are remembered
+	// (default dedup.DefaultTTL).
+	DedupTTL time.Duration
 	// Telemetry receives the messenger's counters and confirm-RTT
 	// histogram; nil uses a private registry.
 	Telemetry *telemetry.Registry
@@ -128,6 +154,9 @@ type Messenger struct {
 	clock  func() time.Time
 
 	met *metrics
+
+	msgSeq    atomic.Uint64
+	delivered *dedup.Window // message IDs already delivered here
 
 	mu        sync.Mutex
 	mailboxes map[string]*Mailbox
@@ -145,6 +174,14 @@ func New(cfg Config, server string, node transport.Node, loc *locator.Locator, m
 	if cfg.ForwardTimeout <= 0 {
 		cfg.ForwardTimeout = 10 * time.Second
 	}
+	if cfg.SendRetries < 0 {
+		cfg.SendRetries = 0
+	} else if cfg.SendRetries == 0 {
+		cfg.SendRetries = 2
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 5 * time.Millisecond
+	}
 	if clock == nil {
 		clock = time.Now
 	}
@@ -160,6 +197,7 @@ func New(cfg Config, server string, node transport.Node, loc *locator.Locator, m
 		mgr:       mgr,
 		clock:     clock,
 		met:       newMetrics(reg),
+		delivered: dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
 		mailboxes: make(map[string]*Mailbox),
 		special:   make(map[string][]naplet.Message),
 	}
@@ -177,13 +215,20 @@ func (m *Messenger) SetInterruptSink(sink InterruptSink) {
 // registry.
 func (m *Messenger) Stats() Stats {
 	return Stats{
-		Posted:     m.met.posted.Value(),
-		Delivered:  m.met.delivered.Value(),
-		Forwarded:  m.met.forwarded.Value(),
-		Held:       m.met.held.Value(),
-		DrainedH:   m.met.drained.Value(),
-		Interrupts: m.met.interrupts.Value(),
+		Posted:      m.met.posted.Value(),
+		Delivered:   m.met.delivered.Value(),
+		Forwarded:   m.met.forwarded.Value(),
+		Held:        m.met.held.Value(),
+		DrainedH:    m.met.drained.Value(),
+		Interrupts:  m.met.interrupts.Value(),
+		Reconfirmed: m.met.reconfirmed.Value(),
+		Retries:     m.met.retries.Value(),
 	}
+}
+
+// mintMsgID assigns a message its end-to-end identifier.
+func (m *Messenger) mintMsgID() string {
+	return fmt.Sprintf("%s/m%d", m.server, m.msgSeq.Add(1))
 }
 
 // ---- Mailbox lifecycle ----
@@ -209,11 +254,19 @@ func (m *Messenger) CreateMailbox(nid id.NapletID) *Mailbox {
 	m.mu.Unlock()
 
 	for _, msg := range held {
+		if msg.ID != "" && m.delivered.Seen(msg.ID) {
+			// A duplicate was held while another copy already reached the
+			// naplet (or its mailbox): absorb it.
+			m.met.reconfirmed.Inc()
+			continue
+		}
 		if msg.IsSystem() && sink != nil && sink(nid, msg) {
+			m.markDelivered(msg)
 			interrupts++
 			continue
 		}
 		mb.put(msg)
+		m.markDelivered(msg)
 		drained++
 	}
 	m.met.drained.Add(drained + interrupts)
@@ -244,11 +297,12 @@ func (m *Messenger) CloseMailbox(nid id.NapletID) []naplet.Message {
 }
 
 // ForwardLeftovers re-posts messages left in a departed naplet's mailbox
-// toward its destination server.
+// toward its destination server. The messages keep their original IDs, so
+// a leftover that races a duplicate in flight is still delivered once.
 func (m *Messenger) ForwardLeftovers(ctx context.Context, dest string, msgs []naplet.Message) error {
 	var firstErr error
 	for _, msg := range msgs {
-		if _, err := m.send(ctx, dest, PostBody{Msg: msg}); err != nil && firstErr == nil {
+		if _, err := m.sendRetry(ctx, dest, PostBody{Msg: msg}); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -267,6 +321,7 @@ func (m *Messenger) Post(ctx context.Context, from *naplet.Record, to id.NapletI
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
 	msg := naplet.Message{
+		ID:      m.mintMsgID(),
 		From:    from.ID,
 		To:      to,
 		Class:   naplet.UserMessage,
@@ -287,6 +342,7 @@ func (m *Messenger) Post(ctx context.Context, from *naplet.Record, to id.NapletI
 // the owner. hint may be empty.
 func (m *Messenger) SendControl(ctx context.Context, to id.NapletID, verb naplet.ControlVerb, hint string) error {
 	msg := naplet.Message{
+		ID:      m.mintMsgID(),
 		To:      to,
 		Class:   naplet.SystemMessage,
 		Control: verb,
@@ -312,10 +368,10 @@ func (m *Messenger) route(ctx context.Context, msg naplet.Message, hint string) 
 	}
 	m.met.posted.Inc()
 	start := time.Now()
-	confirm, err := m.send(ctx, server, PostBody{Msg: msg})
+	confirm, err := m.sendRetry(ctx, server, PostBody{Msg: msg})
 	if err != nil {
 		if m.loc != nil {
-			m.loc.Invalidate(msg.To)
+			m.loc.Miss(msg.To)
 		}
 		return ConfirmBody{}, err
 	}
@@ -324,6 +380,48 @@ func (m *Messenger) route(ctx context.Context, msg naplet.Message, hint string) 
 		m.loc.Refresh(msg.To, confirm.Server)
 	}
 	return confirm, nil
+}
+
+// sendRetry performs one leg of the post protocol, re-attempting transient
+// failures with doubling backoff up to cfg.SendRetries times. The message
+// ID is stable across attempts, so a leg that delivered but lost its
+// confirmation is absorbed and re-confirmed by the receiver's dedup window
+// rather than delivered twice.
+func (m *Messenger) sendRetry(ctx context.Context, server string, body PostBody) (ConfirmBody, error) {
+	delay := m.cfg.RetryDelay
+	var confirm ConfirmBody
+	var err error
+	for attempt := 0; ; attempt++ {
+		confirm, err = m.send(ctx, server, body)
+		if err == nil || attempt >= m.cfg.SendRetries {
+			return confirm, err
+		}
+		// Protocol verdicts are authoritative; only transport-level
+		// failures are worth re-attempting. An error *reply* means the
+		// leg completed and the remote handler answered — retrying would
+		// re-ask a settled question (and amplify exponentially along a
+		// forwarding chain).
+		var werr *wire.Error
+		if errors.As(err, &werr) {
+			return confirm, err
+		}
+		if errors.Is(err, ErrNapletGone) || errors.Is(err, ErrHopsExceeded) || errors.Is(err, ErrUnknownPeer) {
+			return confirm, err
+		}
+		if ctx.Err() != nil {
+			return confirm, err
+		}
+		m.met.retries.Inc()
+		m.met.retryWait.ObserveDuration(delay)
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return confirm, err
+		}
+		delay *= 2
+	}
 }
 
 // send performs one network leg of the post protocol.
@@ -385,7 +483,7 @@ func (m *Messenger) deliverOrForward(ctx context.Context, body PostBody) (Confir
 			}
 			m.met.forwarded.Inc()
 			next := PostBody{Msg: body.Msg, Hops: body.Hops + 1}
-			return m.send(ctx, tr.Dest, next)
+			return m.sendRetry(ctx, tr.Dest, next)
 		}
 		if tr.Known && tr.Present {
 			// Present but no mailbox/interrupt target — a system message
@@ -402,6 +500,15 @@ func (m *Messenger) deliverOrForward(ctx context.Context, body PostBody) (Confir
 func (m *Messenger) hold(body PostBody) ConfirmBody {
 	m.mu.Lock()
 	key := body.Msg.To.Key()
+	if body.Msg.ID != "" {
+		for _, held := range m.special[key] {
+			if held.ID == body.Msg.ID {
+				m.mu.Unlock()
+				m.met.reconfirmed.Inc()
+				return ConfirmBody{Held: true, Server: m.server, Hops: body.Hops}
+			}
+		}
+	}
 	m.special[key] = append(m.special[key], body.Msg)
 	m.mu.Unlock()
 	m.met.held.Inc()
@@ -409,13 +516,21 @@ func (m *Messenger) hold(body PostBody) ConfirmBody {
 }
 
 // deliverLocal tries local delivery: interrupts for system messages,
-// mailbox for user messages.
+// mailbox for user messages. A message whose ID is already in the
+// delivered window is a duplicate — a retried post whose confirmation was
+// lost, or a duplicated frame — and is absorbed and re-confirmed without
+// a second delivery.
 func (m *Messenger) deliverLocal(msg naplet.Message) bool {
+	if msg.ID != "" && m.delivered.Seen(msg.ID) {
+		m.met.reconfirmed.Inc()
+		return true
+	}
 	if msg.IsSystem() {
 		m.mu.Lock()
 		sink := m.interrupt
 		m.mu.Unlock()
 		if sink != nil && sink(msg.To, msg) {
+			m.markDelivered(msg)
 			m.met.interrupts.Inc()
 			return true
 		}
@@ -429,7 +544,16 @@ func (m *Messenger) deliverLocal(msg naplet.Message) bool {
 	}
 	m.met.delivered.Inc()
 	mb.put(msg)
+	m.markDelivered(msg)
 	return true
+}
+
+// markDelivered records a message ID in the delivered window so later
+// duplicates are re-confirmed instead of re-delivered.
+func (m *Messenger) markDelivered(msg naplet.Message) {
+	if msg.ID != "" {
+		m.delivered.Mark(msg.ID)
+	}
 }
 
 // HeldCount reports how many messages are parked for a naplet (tests and

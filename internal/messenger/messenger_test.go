@@ -363,6 +363,97 @@ func TestMailboxCloseUnblocks(t *testing.T) {
 	}
 }
 
+func TestDuplicatePostReconfirmedOnce(t *testing.T) {
+	// The same KindPost frame arriving twice (duplicated in flight, or a
+	// sender retry after a lost confirmation) must deliver once and be
+	// re-confirmed the second time.
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	b := r.land(t, "b", "sb", "sb")
+
+	msg := naplet.Message{
+		ID:      "sa/m1",
+		From:    a.ID,
+		To:      b.ID,
+		Class:   naplet.UserMessage,
+		Subject: "greet",
+		Body:    []byte("hello"),
+		SentAt:  t0,
+	}
+	f, err := wire.NewFrame(wire.KindPost, "sa", "sb", &PostBody{Msg: msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		reply, err := r.msgr["sb"].HandlePost("sa", f)
+		if err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+		var confirm ConfirmBody
+		if err := reply.Body(&confirm); err != nil {
+			t.Fatal(err)
+		}
+		if !confirm.Delivered {
+			t.Fatalf("delivery %d not confirmed: %+v", i, confirm)
+		}
+	}
+	mb, _ := r.msgr["sb"].Mailbox(b.ID)
+	if _, ok := mb.TryReceive(); !ok {
+		t.Fatal("first copy not delivered")
+	}
+	if _, ok := mb.TryReceive(); ok {
+		t.Fatal("duplicate frame delivered twice")
+	}
+	s := r.msgr["sb"].Stats()
+	if s.Delivered != 1 || s.Reconfirmed != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestHeldDuplicateAbsorbed(t *testing.T) {
+	// Case 3 duplicates: the target has not arrived yet, so both copies hit
+	// the special mailbox — only one may be parked there.
+	r := newRig(t, "sa", "sb")
+	a := r.land(t, "a", "sa", "sa")
+	future := id.MustNew("late", "sb", t0)
+
+	msg := naplet.Message{
+		ID:      "sa/m1",
+		From:    a.ID,
+		To:      future,
+		Class:   naplet.UserMessage,
+		Subject: "early",
+		Body:    []byte("hi"),
+		SentAt:  t0,
+	}
+	f, err := wire.NewFrame(wire.KindPost, "sa", "sb", &PostBody{Msg: msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		reply, err := r.msgr["sb"].HandlePost("sa", f)
+		if err != nil {
+			t.Fatalf("hold %d: %v", i, err)
+		}
+		var confirm ConfirmBody
+		if err := reply.Body(&confirm); err != nil {
+			t.Fatal(err)
+		}
+		if !confirm.Held {
+			t.Fatalf("hold %d: %+v", i, confirm)
+		}
+	}
+	// When the naplet lands, exactly one copy drains into its mailbox.
+	r.mgrs["sb"].RecordArrival(future, "cb", "sa", t0)
+	mb := r.msgr["sb"].CreateMailbox(future)
+	if _, ok := mb.TryReceive(); !ok {
+		t.Fatal("held message not drained")
+	}
+	if _, ok := mb.TryReceive(); ok {
+		t.Fatal("held duplicate drained twice")
+	}
+}
+
 func TestViewAPI(t *testing.T) {
 	r := newRig(t, "sa", "sb")
 	a := r.land(t, "a", "sa", "sa")

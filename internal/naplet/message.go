@@ -48,6 +48,11 @@ const (
 
 // Message is one inter-naplet (or owner-to-naplet) message.
 type Message struct {
+	// ID identifies the message end to end, stable across retries and
+	// forwarding legs, so a duplicated delivery can be recognized and
+	// re-confirmed instead of enqueued twice. Empty on messages from
+	// senders predating the field; those are delivered without dedup.
+	ID string
 	// From identifies the sender; zero for owner/manager-originated
 	// control messages.
 	From id.NapletID

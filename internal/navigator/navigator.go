@@ -28,11 +28,11 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cred"
+	"repro/internal/dedup"
 	"repro/internal/directory"
 	"repro/internal/id"
 	"repro/internal/manager"
@@ -146,6 +146,11 @@ type Stats struct {
 	CodePulled  int64
 	CodeServed  int64
 	HomeReports int64
+	// Retries counts dispatch re-attempts taken under a Backoff policy.
+	Retries int64
+	// DupTransfers counts replayed TRANSFER frames absorbed by the
+	// idempotency window (re-acknowledged without landing again).
+	DupTransfers int64
 }
 
 // metrics holds the navigator's registered telemetry handles.
@@ -157,7 +162,10 @@ type metrics struct {
 	codePulled  *telemetry.Counter
 	codeServed  *telemetry.Counter
 	homeReports *telemetry.Counter
+	retries     *telemetry.Counter
+	dupTransfer *telemetry.Counter
 	hopLatency  *telemetry.Histogram
+	backoff     *telemetry.Histogram
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -169,8 +177,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		codePulled:  reg.Counter("naplet_navigator_code_pulled_total", "code bundles fetched from naplet homes"),
 		codeServed:  reg.Counter("naplet_navigator_code_served_total", "code bundles served to cold caches"),
 		homeReports: reg.Counter("naplet_navigator_home_reports_total", "arrival/departure events reported to homes"),
+		retries:     reg.Counter("naplet_navigator_dispatch_retries_total", "dispatch re-attempts under the backoff policy"),
+		dupTransfer: reg.Counter("naplet_navigator_dup_transfers_total", "replayed TRANSFER frames absorbed by the dedup window"),
 		hopLatency: reg.Histogram("naplet_navigator_hop_latency_seconds",
 			"end-to-end migration (dispatch) latency", telemetry.LatencyBuckets),
+		backoff: reg.Histogram("naplet_navigator_backoff_seconds",
+			"backoff sleeps between dispatch retries", telemetry.LatencyBuckets),
 	}
 }
 
@@ -198,6 +210,13 @@ type Config struct {
 	// Tracer, when non-nil, records one HopSpan per dispatch attempt,
 	// extending the paper's NavigationLog with cost and outcome detail.
 	Tracer *telemetry.HopTracer
+	// DedupMax bounds the transfer-ID idempotency window (default
+	// dedup.DefaultMax entries).
+	DedupMax int
+	// DedupTTL bounds how long an accepted transfer ID is remembered
+	// (default dedup.DefaultTTL). A replay older than this is landed
+	// again; the window must outlive any plausible retry schedule.
+	DedupTTL time.Duration
 }
 
 // Navigator is the per-server migration component.
@@ -214,9 +233,8 @@ type Navigator struct {
 	onLand LandFunc
 	admit  AdmitFunc
 
-	tidSeq     atomic.Uint64
-	acceptedMu sync.Mutex
-	accepted   map[string]string // naplet key -> last accepted transfer ID
+	tidSeq   atomic.Uint64
+	accepted *dedup.Window // transfer IDs already landed here
 
 	met *metrics
 }
@@ -244,7 +262,7 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 		cache:    cache,
 		clock:    clock,
 		met:      newMetrics(treg),
-		accepted: make(map[string]string),
+		accepted: dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
 	}
 }
 
@@ -265,13 +283,15 @@ func (n *Navigator) SetAdmitFunc(f AdmitFunc) { n.admit = f }
 // registry.
 func (n *Navigator) Stats() Stats {
 	return Stats{
-		Dispatched:  n.met.dispatched.Value(),
-		Landed:      n.met.landed.Value(),
-		Refused:     n.met.refused.Value(),
-		CodePushed:  n.met.codePushed.Value(),
-		CodePulled:  n.met.codePulled.Value(),
-		CodeServed:  n.met.codeServed.Value(),
-		HomeReports: n.met.homeReports.Value(),
+		Dispatched:   n.met.dispatched.Value(),
+		Landed:       n.met.landed.Value(),
+		Refused:      n.met.refused.Value(),
+		CodePushed:   n.met.codePushed.Value(),
+		CodePulled:   n.met.codePulled.Value(),
+		CodeServed:   n.met.codeServed.Value(),
+		HomeReports:  n.met.homeReports.Value(),
+		Retries:      n.met.retries.Value(),
+		DupTransfers: n.met.dupTransfer.Value(),
 	}
 }
 
@@ -516,15 +536,14 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
 	}
 	// Deduplicate replayed transfers: if the acknowledgement of a landing
-	// was lost, the origin retries with the same transfer ID; the naplet
-	// already landed, so just re-acknowledge.
-	if transfer.TransferID != "" {
-		n.acceptedMu.Lock()
-		dup := n.accepted[rec.ID.Key()] == transfer.TransferID
-		n.acceptedMu.Unlock()
-		if dup {
-			return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true})
-		}
+	// was lost (or the frame itself was duplicated in flight), the same
+	// transfer ID arrives again; the naplet already landed, so just
+	// re-acknowledge. The window is keyed by transfer ID alone, so even a
+	// stale replay arriving after a newer migration of the same naplet is
+	// absorbed rather than double-landing it.
+	if transfer.TransferID != "" && n.accepted.Seen(transfer.TransferID) {
+		n.met.dupTransfer.Inc()
+		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true})
 	}
 	// Re-verify the credential on the actual record: the landing request
 	// is not trusted to match the transfer.
@@ -567,10 +586,10 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	rec.Log.RecordArrival(n.server, now)
 	n.RegisterEvent(context.Background(), rec, directory.Arrival, n.server, now)
 	n.met.landed.Inc()
+	// Mark only after the landing fully succeeded: a transfer that failed
+	// validation or code loading must stay retryable under the same ID.
 	if transfer.TransferID != "" {
-		n.acceptedMu.Lock()
-		n.accepted[rec.ID.Key()] = transfer.TransferID
-		n.acceptedMu.Unlock()
+		n.accepted.Mark(transfer.TransferID)
 	}
 
 	if n.onLand != nil {

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestPartitionCutMidCallFailsReplyLeg(t *testing.T) {
+	// The partition is cut while the handler runs: the request leg already
+	// got through, so the side effect happened, but the reply leg must
+	// fail. This is the organic form of the lost-acknowledgement fault the
+	// retry/dedup machinery exists for.
+	net := New(Config{})
+	handled := 0
+	_, err := net.Attach("b", func(from string, f wire.Frame) (wire.Frame, error) {
+		handled++
+		if handled == 1 {
+			net.Partition("a", "b", true)
+		}
+		return wire.NewFrame(f.Kind, f.To, f.From, &echoBody{Text: "done"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Attach("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+	_, err = a.Call(context.Background(), "b", req)
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned on the reply leg, got %v", err)
+	}
+	if handled != 1 {
+		t.Fatalf("handler ran %d times; the request leg should have delivered", handled)
+	}
+
+	// The caller's retry after the heal completes normally.
+	net.Partition("a", "b", false)
+	if _, err := a.Call(context.Background(), "b", req); err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	if handled != 2 {
+		t.Fatalf("handler ran %d times after retry, want 2", handled)
+	}
+}
+
+func TestContextCancelInsideLossTimeout(t *testing.T) {
+	// A lost frame parks the caller in the modeled CallTimeout sleep; the
+	// caller's context must still be able to interrupt it promptly.
+	cfg := Config{DefaultLink: Link{Loss: 1.0}, CallTimeout: time.Hour, TimeScale: 1}
+	_, a, b := newPair(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+	start := time.Now()
+	_, err := a.Call(ctx, b.Addr(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from inside the loss sleep, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation inside the loss timeout must be prompt")
+	}
+}
+
+func TestLossRateMetering(t *testing.T) {
+	// Every lost frame must be charged to the sender and the directed link:
+	// sent and dropped counters agree, and nothing reaches the receiver.
+	cfg := Config{DefaultLink: Link{Loss: 1.0}, CallTimeout: time.Nanosecond}
+	net, a, b := newPair(t, cfg)
+	const calls = 20
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+	for i := 0; i < calls; i++ {
+		if _, err := a.Call(context.Background(), b.Addr(), req); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("call %d: want ErrTimeout, got %v", i, err)
+		}
+	}
+	as, bs := net.HostStats("a"), net.HostStats("b")
+	if as.FramesSent != calls || as.Dropped != calls {
+		t.Fatalf("sender metering: sent=%d dropped=%d, want %d/%d", as.FramesSent, as.Dropped, calls, calls)
+	}
+	if bs.FramesRecv != 0 || bs.FramesSent != 0 {
+		t.Fatalf("receiver saw traffic across a fully lossy link: %+v", bs)
+	}
+	ls := net.LinkStats("a", "b")
+	if ls.FramesSent != calls || ls.Dropped != calls || ls.FramesRecv != 0 {
+		t.Fatalf("link metering: %+v", ls)
+	}
+	// A partially lossy seeded link drops a reproducible strict subset.
+	seeded := New(Config{DefaultLink: Link{Loss: 0.5}, Seed: 11, CallTimeout: time.Nanosecond})
+	sa, _ := seeded.Attach("a", echoHandler)
+	seeded.Attach("b", echoHandler)
+	for i := 0; i < 40; i++ {
+		f, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{})
+		sa.Call(context.Background(), "b", f)
+	}
+	st := seeded.TotalStats()
+	if st.Dropped == 0 || st.Dropped == st.FramesSent {
+		t.Fatalf("seeded 0.5 loss dropped %d of %d frames", st.Dropped, st.FramesSent)
+	}
+}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
@@ -261,35 +260,36 @@ func (s *Server) advance(g *monitor.Group, nctx *naplet.Context, behavior naplet
 	}
 }
 
-// dispatchWithRetry migrates the naplet, re-attempting transient failures
-// per the server's retry policy. Policy refusals (landing denied) do not
-// retry: the destination's decision is authoritative.
+// dispatchWithRetry migrates the naplet under the navigator's retry
+// policy: exponential backoff with jitter, one transfer ID for the whole
+// logical migration (the destination deduplicates replays after a lost
+// acknowledgement), and fail-fast on policy refusals — the destination's
+// decision is authoritative.
 func (s *Server) dispatchWithRetry(rec *naplet.Record, dest string) error {
-	delay := s.cfg.DispatchRetryDelay
-	if delay <= 0 {
-		delay = 50 * time.Millisecond
+	pol := s.dispatchPolicy()
+	_, err := s.nav.DispatchRetry(context.Background(), rec, dest, pol, s.closed)
+	return err
+}
+
+// dispatchPolicy derives the migration backoff policy from the server
+// config: DispatchBackoff when set, otherwise the legacy knobs. The
+// legacy delay bounds the growth near the configured pacing so tight
+// (millisecond-scale) test configurations don't balloon into
+// multi-second sleeps.
+func (s *Server) dispatchPolicy() navigator.Backoff {
+	if s.cfg.DispatchBackoff != nil {
+		pol := *s.cfg.DispatchBackoff
+		if pol.Retries == 0 {
+			pol.Retries = s.cfg.DispatchRetries
+		}
+		return pol
 	}
-	// One transfer ID for the whole logical migration: the destination
-	// deduplicates replays after a lost acknowledgement.
-	tid := s.nav.NewTransferID()
-	var err error
-	for attempt := 0; ; attempt++ {
-		dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-		_, err = s.nav.DispatchID(dctx, rec, dest, tid)
-		cancel()
-		if err == nil {
-			return nil
-		}
-		if errors.Is(err, navigator.ErrLandingDenied) || errors.Is(err, navigator.ErrLaunchDenied) ||
-			errors.Is(err, navigator.ErrRejected) || attempt >= s.cfg.DispatchRetries {
-			return err
-		}
-		select {
-		case <-time.After(delay):
-		case <-s.closed:
-			return err
-		}
+	pol := navigator.Backoff{Retries: s.cfg.DispatchRetries}
+	if d := s.cfg.DispatchRetryDelay; d > 0 {
+		pol.Initial = d
+		pol.Max = 16 * d
 	}
+	return pol
 }
 
 // performVisit runs one visit at this server: the business logic S

@@ -180,6 +180,45 @@ func TestLandingDeniedDoesNotRetry(t *testing.T) {
 	}
 }
 
+func TestDispatchBackoffPolicyFailsFastOnDenial(t *testing.T) {
+	// Same regression under an explicit Backoff override: a permanent
+	// refusal must trap on the first attempt — zero retries recorded —
+	// even with an hour-scale policy and a huge budget.
+	net, servers := failSpace(t, netsim.Config{}, func(c *Config) {
+		c.DispatchBackoff = &navigator.Backoff{Retries: 1000, Initial: time.Hour, Max: time.Hour}
+	}, "home")
+	reg := servers["home"].reg
+	deny, err := New(Config{Name: "s1", Fabric: net, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { deny.Close() })
+	deny.Navigator().SetAdmitFunc(func(navigatorLandingRequest) error {
+		return errNoLanding
+	})
+
+	nid, err := servers["home"].Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Pattern:  itinerary.SeqVisits([]string{"s1"}, ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := servers["home"].WaitDone(ctx, nid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != manager.StatusTrapped {
+		t.Fatalf("status = %v", st)
+	}
+	if got := servers["home"].Navigator().Stats().Retries; got != 0 {
+		t.Fatalf("permanent denial burned %d retries, want 0", got)
+	}
+}
+
 func TestDirectoryOutageFallsBackToBookHint(t *testing.T) {
 	// Directory mode with the directory detached: posting still works via
 	// the sender's address-book hint.

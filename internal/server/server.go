@@ -74,8 +74,14 @@ type Config struct {
 	// DispatchRetries re-attempts a failed migration this many times
 	// before trapping the naplet (transient network loss tolerance).
 	DispatchRetries int
-	// DispatchRetryDelay separates attempts (default 50 ms).
+	// DispatchRetryDelay is the initial backoff between attempts; it
+	// grows exponentially, capped at 16x (defaults to the navigator's
+	// backoff policy defaults when unset).
 	DispatchRetryDelay time.Duration
+	// DispatchBackoff overrides the full migration retry policy; when
+	// set it takes precedence over DispatchRetryDelay (a zero Retries
+	// field inherits DispatchRetries).
+	DispatchBackoff *navigator.Backoff
 	// Clock is the server time source; nil means time.Now.
 	Clock func() time.Time
 	// Telemetry collects every component's metrics; nil creates a
