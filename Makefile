@@ -7,15 +7,17 @@ verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/...
 	$(MAKE) chaos
 
-# chaos runs the seeded fault-injection suite under the race detector: ten
-# fixed seeds driving tours and message streams through drops, dropped
-# replies, duplicates, crashes and partitions. Reproduce a failing seed
-# with: go test ./internal/server/ -run TestChaosSeeds -chaos.seed=N -v
+# chaos runs the seeded fault-injection suites under the race detector:
+# ten fixed seeds driving tours and message streams through drops, dropped
+# replies, duplicates, crashes and partitions (TestChaosSeeds), plus the
+# server-death suite that crashes a mid-tour server for real and restarts
+# it from its dock snapshot (TestChaosRestartSeeds). Reproduce a failing
+# seed with: go test ./internal/server/ -run TestChaos -chaos.seed=N -v
 chaos:
-	go test -race -count=1 -run TestChaosSeeds ./internal/server/
+	go test -race -count=1 -run 'TestChaosSeeds|TestChaosRestartSeeds' ./internal/server/
 
 # bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
 # PRs compare against. Samples each benchmark 5 times with allocation
@@ -36,4 +38,11 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzDecode -fuzztime 15s ./internal/wire/
 	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
 
-.PHONY: verify chaos bench bench-telemetry fuzz
+# fuzz-smoke gives every fuzz target ~10 seconds — enough to catch a fresh
+# regression in the corpus-adjacent input space without slowing CI.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/wire/
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/itinerary/
+
+.PHONY: verify chaos bench bench-telemetry fuzz fuzz-smoke

@@ -10,19 +10,22 @@
 //	napletctl -home <addr> results -id <naplet-id>
 //	napletctl -home <addr> control -id <naplet-id> -verb terminate
 //	napletctl metrics <metrics-addr>
+//	napletctl spans <metrics-addr> [naplet-id]
 //
 // The home address is the napletd that launched (or will launch) the
-// naplet. The metrics subcommand talks to a napletd's telemetry endpoint
-// (its -metrics-addr) instead of the naplet protocol port.
+// naplet. The metrics and spans subcommands talk to a napletd's telemetry
+// endpoint (its -metrics-addr) instead of the naplet protocol port.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/naplet"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -47,13 +51,26 @@ func main() {
 	}
 	cmd, rest := args[0], args[1:]
 
-	// The metrics subcommand is pure HTTP; it needs no fabric node.
+	// The metrics and spans subcommands are pure HTTP; they need no
+	// fabric node.
 	if cmd == "metrics" {
 		if len(rest) != 1 {
 			fmt.Fprintln(os.Stderr, "usage: napletctl metrics <metrics-addr>")
 			os.Exit(2)
 		}
 		metrics(rest[0])
+		return
+	}
+	if cmd == "spans" {
+		if len(rest) < 1 || len(rest) > 2 {
+			fmt.Fprintln(os.Stderr, "usage: napletctl spans <metrics-addr> [naplet-id]")
+			os.Exit(2)
+		}
+		nid := ""
+		if len(rest) == 2 {
+			nid = rest[1]
+		}
+		spans(rest[0], nid)
 		return
 	}
 
@@ -85,6 +102,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|footprints} [flags]")
 	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>")
+	fmt.Fprintln(os.Stderr, "       napletctl spans <metrics-addr> [naplet-id]")
 	os.Exit(2)
 }
 
@@ -161,6 +179,67 @@ func metrics(addr string) {
 	printMean(values, "naplet_navigator_hop_latency_seconds", "mean hop latency")
 }
 
+// spans fetches a napletd telemetry endpoint's migration-span ring and
+// pretty-prints it grouped by naplet, one table per journey, matching the
+// metrics subcommand's formatting. A naplet ID narrows the fetch to one
+// journey server-side.
+func spans(addr, nid string) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := addr + "/spans"
+	if nid != "" {
+		url += "?naplet=" + neturl.QueryEscape(nid)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatalf("napletctl spans: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("napletctl spans: %s returned %s", addr, resp.Status)
+	}
+	var all []telemetry.HopSpan
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		log.Fatalf("napletctl spans: decode: %v", err)
+	}
+	if len(all) == 0 {
+		fmt.Println("no spans")
+		return
+	}
+
+	byNaplet := make(map[string][]telemetry.HopSpan)
+	for _, s := range all {
+		byNaplet[s.Naplet] = append(byNaplet[s.Naplet], s)
+	}
+	naplets := make([]string, 0, len(byNaplet))
+	for n := range byNaplet {
+		naplets = append(naplets, n)
+	}
+	sort.Strings(naplets)
+	for _, n := range naplets {
+		rows := byNaplet[n]
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Hop != rows[j].Hop {
+				return rows[i].Hop < rows[j].Hop
+			}
+			return rows[i].Start.Before(rows[j].Start)
+		})
+		tbl := stats.NewTable(n, "hop", "outcome", "total", "negotiate", "transfer", "bytes")
+		for _, s := range rows {
+			outcome := s.Outcome
+			if s.Err != "" {
+				outcome += " (" + s.Err + ")"
+			}
+			tbl.AddRow(fmt.Sprintf("%s -> %s", s.From, s.To), s.Hop, outcome,
+				s.Total, s.Negotiation, s.Transfer, s.RecordBytes+s.CodeBytes)
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+}
+
 // printMean derives a mean from a histogram's _sum/_count pair.
 func printMean(values map[string]float64, family, label string) {
 	count := values[family+"_count"]
@@ -231,6 +310,7 @@ func launch(node transport.Node, home string, args []string) {
 	route := fs.String("route", "", `itinerary, e.g. "seq(host:port, host:port)"`)
 	owner := fs.String("owner", "czxu", "launching principal")
 	params := fs.String("params", "", "semicolon-separated agent parameters (NMNaplet MIB OIDs)")
+	failover := fs.String("failover", "", "dead-destination policy: none | skip | alternates | home")
 	wait := fs.Bool("wait", false, "poll until the naplet completes, then print its reports")
 	fs.Parse(args)
 	if *route == "" {
@@ -242,6 +322,7 @@ func launch(node transport.Node, home string, args []string) {
 		Owner:    *owner,
 		Codebase: *codebase,
 		Route:    *route,
+		Failover: *failover,
 	}
 	if *params != "" {
 		body.Params = strings.Split(*params, ";")

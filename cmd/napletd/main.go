@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/directory"
+	"repro/internal/dock"
 	"repro/internal/fault"
 	"repro/internal/locator"
 	"repro/internal/man"
@@ -81,6 +82,8 @@ func main() {
 	slots := flag.Int("slots", 0, "concurrent naplet execution slots (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics, /healthz and /spans (empty = disabled)")
 	dispatchRetries := flag.Int("dispatch-retries", 8, "migration retry budget per hop (exponential backoff)")
+	dockDir := flag.String("dock-dir", "", "directory for durable dock snapshots; on boot the server restores resident naplets, held mail and dedup state from it (empty = volatile)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before the hard close")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable the deterministic fault injector with this seed (0 = off)")
 	chaosDrop := flag.Float64("chaos-drop", 0.05, "chaos: probability of dropping a request frame")
 	chaosDup := flag.Float64("chaos-dup", 0.05, "chaos: probability of duplicating a frame")
@@ -133,6 +136,15 @@ func main() {
 		log.Printf("napletd: directory service on %s", daddr)
 	}
 
+	var dockStore *dock.Store
+	if *dockDir != "" {
+		dockStore, err = dock.Open(*dockDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("napletd: durable dock in %s", *dockDir)
+	}
+
 	srv, err := server.New(server.Config{
 		Name:          *listen,
 		Fabric:        fabric,
@@ -142,6 +154,7 @@ func main() {
 		Slots:         *slots,
 		Telemetry:     telem,
 		Tracer:        tracer,
+		Dock:          dockStore,
 		// Real deployments tolerate transient loss: retry with the
 		// navigator's default exponential backoff (25ms -> 2s).
 		DispatchRetries: *dispatchRetries,
@@ -158,7 +171,14 @@ func main() {
 		telem.GaugeFunc("naplet_process_goroutines", "goroutines in the daemon process", func() float64 {
 			return float64(runtime.NumGoroutine())
 		})
-		handler := telemetry.Handler(telem, tracer, nil)
+		// A draining server answers 503 so load balancers and peers stop
+		// routing new work here while the evacuation runs.
+		handler := telemetry.Handler(telem, tracer, func() error {
+			if srv.Draining() {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		})
 		go func() {
 			log.Printf("napletd: telemetry on http://%s/metrics", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, handler); err != nil {
@@ -188,6 +208,17 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	log.Printf("napletd: draining (budget %s; signal again to force close)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig
+		log.Printf("napletd: second signal, aborting drain")
+		cancel()
+	}()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("napletd: drain incomplete: %v", err)
+	}
+	cancel()
 	log.Printf("napletd: shutting down")
 	srv.Close()
 }

@@ -111,6 +111,26 @@ func (w *Window) SeenOrMark(id string) bool {
 	return false
 }
 
+// Keys returns the retained, unexpired identifiers in insertion order, for
+// persisting the window across a restart. Restore by Marking each key into
+// a fresh window.
+func (w *Window) Keys() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.clock()
+	out := make([]string, 0, len(w.entries))
+	seen := make(map[string]bool, len(w.entries))
+	for _, id := range w.order {
+		at, ok := w.entries[id]
+		if !ok || seen[id] || now.Sub(at) > w.ttl {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
 // Len reports the number of retained identifiers (including any expired
 // entries not yet evicted).
 func (w *Window) Len() int {

@@ -66,6 +66,13 @@ type LookupBody struct {
 	NapletID id.NapletID
 }
 
+// DeregisterBody is the wire body of a KindDirDeregister frame: a closing
+// server withdraws every entry that points at its address, so peers stop
+// dispatching naplets and mail at a dead dock.
+type DeregisterBody struct {
+	Server string
+}
+
 // ReplyBody is the wire body of a KindDirReply frame.
 type ReplyBody struct {
 	Found bool
@@ -116,6 +123,13 @@ func (s *Service) Handle(from string, f wire.Frame) (wire.Frame, error) {
 		}
 		entry, ok := s.lookup(body.NapletID)
 		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: ok, Entry: entry})
+	case wire.KindDirDeregister:
+		var body DeregisterBody
+		if err := f.Body(&body); err != nil {
+			return wire.Frame{}, err
+		}
+		s.deregisterServer(body.Server)
+		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: true})
 	default:
 		return wire.Frame{}, fmt.Errorf("directory: unexpected frame kind %q", f.Kind)
 	}
@@ -133,6 +147,22 @@ func (s *Service) register(body RegisterBody) {
 		return
 	}
 	s.entries[key] = Entry{NapletID: body.NapletID, Event: body.Event, Server: body.Server, At: body.At}
+}
+
+// deregisterServer drops every entry that points at server. A closing dock
+// withdraws its registrations so peers fail fast (and consult fresher
+// information) instead of burning their retry budget on a dead address.
+func (s *Service) deregisterServer(server string) {
+	if server == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, e := range s.entries {
+		if e.Server == server {
+			delete(s.entries, key)
+		}
+	}
 }
 
 func (s *Service) lookup(nid id.NapletID) (Entry, bool) {
@@ -184,6 +214,16 @@ func (c *Client) Register(ctx context.Context, nid id.NapletID, event Event, ser
 	f, err := wire.NewFrame(wire.KindDirRegister, "", "", &RegisterBody{
 		NapletID: nid, Event: event, Server: server, At: at,
 	})
+	if err != nil {
+		return err
+	}
+	_, err = c.node.Call(ctx, c.addr, f)
+	return err
+}
+
+// DeregisterServer withdraws every directory entry pointing at server.
+func (c *Client) DeregisterServer(ctx context.Context, server string) error {
+	f, err := wire.NewFrame(wire.KindDirDeregister, "", "", &DeregisterBody{Server: server})
 	if err != nil {
 		return err
 	}

@@ -302,6 +302,12 @@ type Decision struct {
 	// Branches is set for DecisionFork: the clone branches (excluding the
 	// parent's, which continues inside the stepped itinerary).
 	Branches []*Pattern
+	// Alternates holds, for a DecisionVisit chosen by an Alt node, the
+	// not-chosen alternative subtrees — each rewrapped with whatever
+	// follows the Alt, so any one of them is a complete replacement for
+	// the remaining itinerary. The visit engine falls back to them when
+	// dispatch toward Visit.Server exhausts against a dead destination.
+	Alternates []*Pattern
 }
 
 // Itinerary is the travel plan carried by a naplet: the remaining pattern
@@ -408,19 +414,39 @@ func step(p *Pattern, ev Evaluator) (Decision, *Pattern, error) {
 			}
 			// Rebuild the remainder: rest of this operand + later operands.
 			remainder := seqRemainder(rest, p.Subs[i+1:])
+			// Failover alternates must carry the same continuation the
+			// chosen path does, so rewrap each with the later operands.
+			for k, alt := range d.Alternates {
+				d.Alternates[k] = seqRemainder(alt, p.Subs[i+1:])
+			}
 			return d, remainder, nil
 		}
 		return Decision{Kind: DecisionDone}, nil, nil
 
 	case KindAlt:
-		chosen, err := chooseAlt(p.Subs, ev)
+		chosen, idx, err := chooseAlt(p.Subs, ev)
 		if err != nil {
 			return Decision{}, nil, err
 		}
 		if chosen == nil {
 			return Decision{Kind: DecisionDone}, nil, nil
 		}
-		return step(chosen, ev)
+		d, rest, err := step(chosen, ev)
+		if err != nil {
+			return Decision{}, nil, err
+		}
+		if d.Kind == DecisionVisit {
+			// The unchosen alternatives are this visit's failover routes:
+			// if the chosen destination turns out dead, any of them can
+			// replace the whole remaining subtree (their guards are
+			// re-evaluated at failover time).
+			for j, sub := range p.Subs {
+				if j != idx {
+					d.Alternates = append(d.Alternates, sub.Clone())
+				}
+			}
+		}
+		return d, rest, err
 
 	case KindPar:
 		if len(p.Subs) == 0 {
@@ -459,19 +485,20 @@ func seqRemainder(rest *Pattern, later []*Pattern) *Pattern {
 	}
 }
 
-// chooseAlt picks the first alternative whose initial visit guard holds.
-func chooseAlt(subs []*Pattern, ev Evaluator) (*Pattern, error) {
-	for _, sub := range subs {
+// chooseAlt picks the first alternative whose initial visit guard holds,
+// returning it with its index in subs (-1 when none holds).
+func chooseAlt(subs []*Pattern, ev Evaluator) (*Pattern, int, error) {
+	for i, sub := range subs {
 		g := firstGuard(sub)
 		ok, err := evalGuard(g, ev)
 		if err != nil {
-			return nil, err
+			return nil, -1, err
 		}
 		if ok {
-			return sub.Clone(), nil
+			return sub.Clone(), i, nil
 		}
 	}
-	return nil, nil
+	return nil, -1, nil
 }
 
 // firstGuard finds the guard of the first visit reachable in the pattern.

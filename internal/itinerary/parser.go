@@ -10,14 +10,16 @@ import (
 //
 //	pattern  := "seq" "(" list ")" | "alt" "(" list ")" | "par" "(" list ")" | visit
 //	list     := pattern ("," pattern)*
-//	visit    := [guard "->"] server [";" action]
+//	visit    := ["<"] [guard "->"] server [";" action] [">"]
 //	server, guard, action := identifiers ([A-Za-z0-9._:-]+)
 //
-// Examples accepted:
+// The angle brackets are the paper's <C -> S; T> rendering, as produced by
+// Pattern.String; they are optional but must pair up. Examples accepted:
 //
 //	s0
 //	par(seq(s0, s1), seq(s2, s3))
 //	seq(s0, found -> s1; report)
+//	seq(<s0>, <found -> s1; report>)
 //
 // Whitespace is insignificant. Parse validates the resulting pattern.
 func Parse(input string) (*Pattern, error) {
@@ -143,6 +145,12 @@ func (p *parser) pattern() (*Pattern, error) {
 }
 
 func (p *parser) visit() (*Pattern, error) {
+	p.skipSpace()
+	bracketed := false
+	if p.peek() == '<' {
+		p.pos++
+		bracketed = true
+	}
 	first, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -166,6 +174,11 @@ func (p *parser) visit() (*Pattern, error) {
 			return nil, err
 		}
 		v.Action = action
+	}
+	if bracketed {
+		if err := p.expect('>'); err != nil {
+			return nil, err
+		}
 	}
 	return Singleton(v), nil
 }

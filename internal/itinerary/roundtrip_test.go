@@ -1,0 +1,93 @@
+package itinerary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genIdent draws a random identifier over the parser's charset.
+func genIdent(r *rand.Rand) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:-"
+	n := 1 + r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// genPattern draws a random valid pattern tree up to three operators deep.
+func genPattern(r *rand.Rand, depth int) *Pattern {
+	if depth >= 3 || r.Intn(3) == 0 {
+		v := Visit{Server: genIdent(r)}
+		if r.Intn(3) == 0 {
+			v.Guard = genIdent(r)
+		}
+		if r.Intn(3) == 0 {
+			v.Action = genIdent(r)
+		}
+		return Singleton(v)
+	}
+	n := 1 + r.Intn(3)
+	subs := make([]*Pattern, n)
+	for i := range subs {
+		subs[i] = genPattern(r, depth+1)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Seq(subs...)
+	case 1:
+		return Alt(subs...)
+	default:
+		return Par(subs...)
+	}
+}
+
+// TestParseStringRoundTrip is the property test behind persistence and
+// control-plane routes: rendering any valid pattern with String and
+// parsing it back yields the identical tree.
+func TestParseStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(20010512))
+	for i := 0; i < 1000; i++ {
+		p := genPattern(r, 0)
+		s := p.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip mismatch:\n  rendered %q\n  reparsed %q", s, got.String())
+		}
+	}
+}
+
+// FuzzParse checks that Parse never panics and that whatever it accepts
+// prints and reparses stably (String is a fixed point after one parse).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"s0",
+		"par(seq(s0, s1), seq(s2, s3))",
+		"seq(s0, found -> s1; report)",
+		"<a -> b; c>",
+		"alt(<x>, y, seq(<g -> h>))",
+		"seq(, )",
+		"<<x>>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, s, err)
+		}
+		if q.String() != s {
+			t.Fatalf("unstable rendering: %q -> %q", s, q.String())
+		}
+	})
+}

@@ -373,3 +373,38 @@ func (m *Manager) HomeLocate(nid id.NapletID) (server string, ok bool) {
 	}
 	return e.server, true
 }
+
+// HomeEvent is one externalized home-track record, exchanged with the dock
+// snapshot so a restarted home server still answers location queries for
+// the naplets it launched.
+type HomeEvent struct {
+	ID      string
+	Server  string
+	Arrival bool
+	At      time.Time
+}
+
+// HomeSnapshot copies the home-track table.
+func (m *Manager) HomeSnapshot() []HomeEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]HomeEvent, 0, len(m.homeTrack))
+	for key, e := range m.homeTrack {
+		out = append(out, HomeEvent{ID: key, Server: e.server, Arrival: e.arrival, At: e.at})
+	}
+	return out
+}
+
+// RestoreHome reseeds the home-track table from a dock snapshot; newer
+// live entries (reports that raced the restore) win over restored ones.
+func (m *Manager) RestoreHome(evs []HomeEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ev := range evs {
+		cur, ok := m.homeTrack[ev.ID]
+		if ok && ev.At.Before(cur.at) {
+			continue
+		}
+		m.homeTrack[ev.ID] = homeEntry{server: ev.Server, arrival: ev.Arrival, at: ev.At}
+	}
+}

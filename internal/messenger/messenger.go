@@ -564,6 +564,126 @@ func (m *Messenger) HeldCount(nid id.NapletID) int {
 	return len(m.special[nid.Key()])
 }
 
+// ---- Durability and drain ----
+
+// HeldSnapshot deep-copies the special mailbox for a dock snapshot.
+func (m *Messenger) HeldSnapshot() map[string][]naplet.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]naplet.Message, len(m.special))
+	for key, msgs := range m.special {
+		out[key] = append([]naplet.Message(nil), msgs...)
+	}
+	return out
+}
+
+// MailboxSnapshot deep-copies the queued-but-unreceived messages of every
+// open mailbox for a dock snapshot. A crash loses in-flight receipt, but a
+// queued message that was never handed to the naplet survives the restart
+// as held mail and is re-drained when the naplet's mailbox reopens.
+func (m *Messenger) MailboxSnapshot() map[string][]naplet.Message {
+	m.mu.Lock()
+	boxes := make(map[string]*Mailbox, len(m.mailboxes))
+	for key, mb := range m.mailboxes {
+		boxes[key] = mb
+	}
+	m.mu.Unlock()
+	out := make(map[string][]naplet.Message)
+	for key, mb := range boxes {
+		if msgs := mb.snapshot(); len(msgs) > 0 {
+			out[key] = msgs
+		}
+	}
+	return out
+}
+
+// RestoreHeld reseeds the special mailbox from a restored dock snapshot.
+// A message whose ID is already held for the same key, or already in the
+// delivered window, is absorbed rather than duplicated — restoring after a
+// crash must not double mail that also survived in flight.
+func (m *Messenger) RestoreHeld(held map[string][]naplet.Message) {
+	for key, msgs := range held {
+		for _, msg := range msgs {
+			if msg.ID != "" && m.delivered.Seen(msg.ID) {
+				continue
+			}
+			m.mu.Lock()
+			dup := false
+			if msg.ID != "" {
+				for _, h := range m.special[key] {
+					if h.ID == msg.ID {
+						dup = true
+						break
+					}
+				}
+			}
+			if !dup {
+				m.special[key] = append(m.special[key], msg)
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// FlushHeld attempts onward delivery of every held message (graceful
+// drain): each target is located and its mail forwarded to that server.
+// Messages whose target cannot be located, or that locate back to this
+// draining server, stay held for the final dock snapshot. Returns how many
+// messages moved.
+func (m *Messenger) FlushHeld(ctx context.Context) int {
+	m.mu.Lock()
+	pending := m.special
+	m.special = make(map[string][]naplet.Message)
+	m.mu.Unlock()
+
+	flushed := 0
+	for key, msgs := range pending {
+		if len(msgs) == 0 {
+			continue
+		}
+		var dest string
+		if m.loc != nil {
+			if s, err := m.loc.Locate(ctx, msgs[0].To, ""); err == nil && s != m.server {
+				dest = s
+			}
+		}
+		if dest == "" {
+			m.restoreHeldKey(key, msgs)
+			continue
+		}
+		var kept []naplet.Message
+		for _, msg := range msgs {
+			if _, err := m.sendRetry(ctx, dest, PostBody{Msg: msg}); err != nil {
+				kept = append(kept, msg)
+				continue
+			}
+			flushed++
+		}
+		if len(kept) > 0 {
+			m.restoreHeldKey(key, kept)
+		}
+	}
+	return flushed
+}
+
+func (m *Messenger) restoreHeldKey(key string, msgs []naplet.Message) {
+	m.mu.Lock()
+	m.special[key] = append(m.special[key], msgs...)
+	m.mu.Unlock()
+}
+
+// DeliveredSnapshot returns the message IDs in the delivery dedup window,
+// for persistence across a restart.
+func (m *Messenger) DeliveredSnapshot() []string { return m.delivered.Keys() }
+
+// RestoreDelivered re-marks previously delivered message IDs so replays of
+// pre-restart posts are re-confirmed, not enqueued twice.
+func (m *Messenger) RestoreDelivered(ids []string) {
+	for _, id := range ids {
+		m.delivered.Mark(id)
+	}
+}
+
 // ---- Mailbox ----
 
 // Mailbox is one naplet's message queue at its current server.
@@ -631,6 +751,13 @@ func (b *Mailbox) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.msgs)
+}
+
+// snapshot copies the queued messages without consuming them.
+func (b *Mailbox) snapshot() []naplet.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]naplet.Message(nil), b.msgs...)
 }
 
 // close marks the mailbox closed and returns undelivered messages.

@@ -94,6 +94,11 @@ var (
 	ErrKilled         = errors.New("monitor: naplet killed")
 	ErrDuplicate      = errors.New("monitor: naplet already admitted")
 	ErrUnknown        = errors.New("monitor: unknown naplet")
+	// ErrEvacuated interrupts a confined call because the server is
+	// draining: unlike ErrKilled it is not an execution exception — the
+	// visit engine moves the naplet to its next stop or home instead of
+	// trapping it.
+	ErrEvacuated = errors.New("monitor: naplet evacuated (server draining)")
 )
 
 // Monitor supervises the naplet groups of one server.
@@ -104,6 +109,12 @@ type Monitor struct {
 
 	mu     sync.Mutex
 	groups map[string]*Group
+
+	// killing and evacuating are sticky shutdown modes: a group admitted
+	// after KillAll/EvacuateAll (a landing accepted just before the flag
+	// flipped) is interrupted on admission instead of outliving the sweep.
+	killing    atomic.Bool
+	evacuating atomic.Bool
 }
 
 // monMetrics holds the monitor's registered telemetry handles. Every
@@ -195,6 +206,11 @@ func (m *Monitor) Admit(nid id.NapletID, policy Policy) (*Group, error) {
 	close(g.resume) // not suspended
 	m.groups[key] = g
 	m.met.Load().admitted()
+	if m.killing.Load() {
+		g.Kill()
+	} else if m.evacuating.Load() {
+		g.Evacuate()
+	}
 	return g, nil
 }
 
@@ -224,6 +240,7 @@ func (m *Monitor) Remove(nid id.NapletID) {
 // KillAll terminates every admitted group: the server is shutting down and
 // resident naplets must unblock.
 func (m *Monitor) KillAll() {
+	m.killing.Store(true)
 	m.mu.Lock()
 	groups := make([]*Group, 0, len(m.groups))
 	for _, g := range m.groups {
@@ -232,6 +249,22 @@ func (m *Monitor) KillAll() {
 	m.mu.Unlock()
 	for _, g := range groups {
 		g.Kill()
+	}
+}
+
+// EvacuateAll interrupts every admitted group for evacuation: blocked
+// confined calls unwind with ErrEvacuated so the visit engines can move
+// their naplets off this draining server instead of trapping them.
+func (m *Monitor) EvacuateAll() {
+	m.evacuating.Store(true)
+	m.mu.Lock()
+	groups := make([]*Group, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.mu.Unlock()
+	for _, g := range groups {
+		g.Evacuate()
 	}
 }
 
@@ -257,11 +290,12 @@ type Group struct {
 	state   GroupState
 	resume  chan struct{} // closed when running; replaced open on suspend
 
-	cpu    atomic.Int64 // nanoseconds
-	mem    atomic.Int64
-	bw     atomic.Int64
-	traps  atomic.Int64
-	killed atomic.Bool
+	cpu       atomic.Int64 // nanoseconds
+	mem       atomic.Int64
+	bw        atomic.Int64
+	traps     atomic.Int64
+	killed    atomic.Bool
+	evacuated atomic.Bool
 
 	interruptMu sync.Mutex
 	onInterrupt func(naplet.Message)
@@ -312,6 +346,9 @@ func (g *Group) Usage() Usage {
 // the paper's "sets traps for its execution exceptions".
 func (g *Group) Run(f func(ctx context.Context) error) (err error) {
 	if err := g.monitor.sched.Acquire(g.ctx, g.policy.Priority); err != nil {
+		if g.evacuating() {
+			return ErrEvacuated
+		}
 		return err
 	}
 	defer g.monitor.sched.Release()
@@ -336,7 +373,13 @@ func (g *Group) Join() { g.wg.Wait() }
 
 // confined runs f with panic trapping, suspension gating, and CPU charging.
 func (g *Group) confined(f func(ctx context.Context) error) (err error) {
+	if g.evacuating() {
+		return ErrEvacuated
+	}
 	if err := g.waitResumed(); err != nil {
+		if g.evacuating() {
+			return ErrEvacuated
+		}
 		return err
 	}
 	start := g.monitor.clock()
@@ -352,11 +395,22 @@ func (g *Group) confined(f func(ctx context.Context) error) (err error) {
 				err = cerr
 			}
 		}
+		// An error produced by the evacuation cancel (a ctx-aware wait
+		// unwinding) is an evacuation, not an execution exception.
+		if err != nil && g.evacuating() {
+			err = ErrEvacuated
+		}
 	}()
 	if g.killed.Load() {
 		return ErrKilled
 	}
 	return f(g.ctx)
+}
+
+// evacuating reports whether the group is unwinding for evacuation (a kill
+// still wins over an evacuation).
+func (g *Group) evacuating() bool {
+	return g.evacuated.Load() && !g.killed.Load()
 }
 
 // waitResumed blocks while the group is suspended.
@@ -379,6 +433,9 @@ func (g *Group) waitResumed() error {
 func (g *Group) Checkpoint() error {
 	if g.killed.Load() {
 		return ErrKilled
+	}
+	if g.evacuated.Load() {
+		return ErrEvacuated
 	}
 	if err := g.ctx.Err(); err != nil {
 		return err
@@ -423,6 +480,20 @@ func (g *Group) Kill() {
 	g.stateMu.Lock()
 	g.state = StateKilled
 	g.stateMu.Unlock()
+	g.cancel()
+}
+
+// Evacuate interrupts the group for a server drain: its context is
+// cancelled so blocked confined calls unwind, but instead of ErrKilled
+// they (and subsequent checkpoints) report ErrEvacuated, which the visit
+// engine turns into a migration rather than a trap. A suspended group is
+// resumed first — a drain must not wait on a suspension that may never be
+// lifted.
+func (g *Group) Evacuate() {
+	if g.evacuated.Swap(true) {
+		return
+	}
+	g.Resume()
 	g.cancel()
 }
 

@@ -17,6 +17,7 @@ package naplet
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/cred"
@@ -83,9 +84,48 @@ type Record struct {
 	// origin server when dispatching, consumed by the destination's visit
 	// engine (its Action runs after OnStart there).
 	Pending itinerary.Visit
+	// PendingAlts are the Alt-node alternatives to the Pending visit,
+	// captured at decision time: complete replacement itineraries the
+	// origin falls back to when dispatch exhausts against a dead
+	// destination (FailoverAlternates). Cleared on landing.
+	PendingAlts []*itinerary.Pattern
+	// Failover selects how the visit engine reacts when dispatch to the
+	// next server exhausts its retry budget against a dead peer.
+	Failover FailoverPolicy
 	// CloneSeq numbers the clones this naplet has spawned, so Par forks
 	// allocate unique heritage indices across the whole life cycle.
 	CloneSeq int
+}
+
+// FailoverPolicy names the visit engine's reaction to a dead destination.
+type FailoverPolicy string
+
+// Failover policies.
+const (
+	// FailoverNone traps the naplet (the pre-failover behaviour).
+	FailoverNone FailoverPolicy = ""
+	// FailoverSkip records the unreachable visit in the navigation log
+	// and continues with the rest of the itinerary.
+	FailoverSkip FailoverPolicy = "skip"
+	// FailoverAlternates re-routes through the unchosen branches of the
+	// visit's Alt node (falling back to skip when there are none).
+	FailoverAlternates FailoverPolicy = "alternates"
+	// FailoverHome abandons the remaining itinerary and returns the
+	// naplet to its home server.
+	FailoverHome FailoverPolicy = "home"
+)
+
+// ParseFailoverPolicy validates a policy name ("", "skip", "alternates",
+// "home", with "none" accepted as an alias for "").
+func ParseFailoverPolicy(s string) (FailoverPolicy, error) {
+	switch FailoverPolicy(s) {
+	case FailoverNone, FailoverSkip, FailoverAlternates, FailoverHome:
+		return FailoverPolicy(s), nil
+	case "none":
+		return FailoverNone, nil
+	default:
+		return FailoverNone, fmt.Errorf("naplet: unknown failover policy %q", s)
+	}
 }
 
 // NextCloneIndex allocates the next clone heritage index (1-based). The
@@ -131,6 +171,7 @@ func (r *Record) CloneFor(k int, branch *itinerary.Itinerary, credential cred.Cr
 		Itin:       branch,
 		Book:       r.Book.Clone(),
 		Log:        r.Log.Clone(),
+		Failover:   r.Failover,
 		// Pending and CloneSeq start fresh: the clone has its own travel
 		// plan and its own clone generation.
 	}, nil

@@ -27,12 +27,30 @@ func (h Hop) Dwell() time.Duration {
 	return h.Depart.Sub(h.Arrive)
 }
 
+// Reroute records one failover decision: a planned visit that could not be
+// reached (its destination presumed dead after the retry budget) and what
+// the engine did instead. Reroutes are deliberately not hops — the naplet
+// never arrived at Visit's server — but they keep the owner's
+// post-analysis honest about the planned <C -> S; T> stops that were
+// skipped, replaced, or abandoned.
+type Reroute struct {
+	// Visit is the unreachable visit in the paper's <C -> S; T> notation.
+	Visit string
+	// Policy is the failover policy applied ("skip", "alternate", "home").
+	Policy string
+	// Detail carries the dispatch error text.
+	Detail string
+	// At stamps the decision.
+	At time.Time
+}
+
 // NavigationLog records the arrival and departure time information of the
 // naplet at each server, providing the naplet owner with detailed travel
 // information for post-analysis (§2.1). It is safe for concurrent use.
 type NavigationLog struct {
-	mu   sync.RWMutex
-	hops []Hop
+	mu       sync.RWMutex
+	hops     []Hop
+	reroutes []Reroute
 }
 
 // NewNavigationLog returns an empty log.
@@ -64,6 +82,20 @@ func (l *NavigationLog) RecordDeparture(server string, at time.Time) error {
 	}
 	last.Depart = at
 	return nil
+}
+
+// RecordReroute appends a failover record for an unreachable visit.
+func (l *NavigationLog) RecordReroute(r Reroute) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reroutes = append(l.reroutes, r)
+}
+
+// Reroutes returns a copy of the recorded failover decisions in order.
+func (l *NavigationLog) Reroutes() []Reroute {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Reroute(nil), l.reroutes...)
 }
 
 // Hops returns a copy of the recorded hops in order.
@@ -139,18 +171,21 @@ func (l *NavigationLog) String() string {
 // Clone deep-copies the log; clones inherit the travel history that led to
 // their creation.
 func (l *NavigationLog) Clone() *NavigationLog {
-	return &NavigationLog{hops: l.Hops()}
+	return &NavigationLog{hops: l.Hops(), reroutes: l.Reroutes()}
 }
 
-// logSnapshot is the gob form.
+// logSnapshot is the gob form. Reroutes ride in a separate optional field,
+// so logs written before failover existed still decode (gob skips absent
+// fields).
 type logSnapshot struct {
-	Hops []Hop
+	Hops     []Hop
+	Reroutes []Reroute
 }
 
 // GobEncode implements gob.GobEncoder.
 func (l *NavigationLog) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(logSnapshot{Hops: l.Hops()}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(logSnapshot{Hops: l.Hops(), Reroutes: l.Reroutes()}); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -165,5 +200,6 @@ func (l *NavigationLog) GobDecode(data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.hops = snap.Hops
+	l.reroutes = snap.Reroutes
 	return nil
 }

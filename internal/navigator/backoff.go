@@ -3,6 +3,7 @@ package navigator
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -25,6 +26,13 @@ type Backoff struct {
 	// Retries is the retry budget beyond the first attempt; 0 means no
 	// retries (negative values are treated as 0).
 	Retries int
+	// FailFast consults the navigator's failure detector before spending
+	// the budget: a dispatch against a peer presumed dead returns
+	// ErrPeerDead after at most one probe attempt. Callers set it only
+	// when they have a failover strategy for the dead destination —
+	// without one, the full budget is the better bet against a peer that
+	// may merely be partitioned.
+	FailFast bool
 }
 
 // Backoff defaults.
@@ -94,6 +102,13 @@ func IsPermanent(err error) bool {
 		errors.Is(err, ErrRejected)
 }
 
+// ErrPeerDead is returned by DispatchRetry when the failure detector
+// presumes the destination dead: either the peer was already dead and this
+// caller lost the per-interval probe slot (no network attempt was made), or
+// the attempts made here pushed it over the dead threshold. Callers should
+// apply their failover policy instead of retrying.
+var ErrPeerDead = errors.New("navigator: destination presumed dead")
+
 // DispatchRetry migrates rec to dest under the given retry policy: one
 // transfer ID for the whole logical migration (so the destination
 // deduplicates replays after a lost acknowledgement), exponential backoff
@@ -104,8 +119,32 @@ func IsPermanent(err error) bool {
 // naplet_navigator_dispatch_retries_total counter and the
 // naplet_navigator_backoff_seconds histogram.
 func (n *Navigator) DispatchRetry(ctx context.Context, rec *naplet.Record, dest string, pol Backoff, stop <-chan struct{}) (Breakdown, error) {
+	return n.DispatchRetryID(ctx, rec, dest, n.NewTransferID(), pol, stop)
+}
+
+// DispatchRetryID is DispatchRetry with a caller-supplied transfer ID.
+// Crash recovery uses it to replay an interrupted migration under the
+// original ID, so a destination that already landed the naplet re-acks via
+// its dedup window instead of landing a duplicate.
+//
+// When the navigator carries a failure detector and the policy opts in
+// with FailFast, a dispatch that starts against a peer presumed dead fails
+// fast instead of burning the backoff budget: at most one probe attempt
+// per probe interval reaches the network, and every other caller returns
+// ErrPeerDead without touching it. A dispatch that starts against a live
+// peer keeps its full retry budget — the detector learns from its
+// failures but does not cut it short, so transient loss and heal-in-time
+// partitions still ride through.
+func (n *Navigator) DispatchRetryID(ctx context.Context, rec *naplet.Record, dest string, tid string, pol Backoff, stop <-chan struct{}) (Breakdown, error) {
 	pol = pol.withDefaults()
-	tid := n.NewTransferID()
+	hd := n.cfg.Health
+	probing := false
+	if pol.FailFast && hd.Dead(dest) {
+		if !hd.Allow(dest) {
+			return Breakdown{}, ErrPeerDead
+		}
+		probing = true
+	}
 	var bd Breakdown
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -113,9 +152,21 @@ func (n *Navigator) DispatchRetry(ctx context.Context, rec *naplet.Record, dest 
 		bd, err = n.DispatchID(actx, rec, dest, tid)
 		cancel()
 		if err == nil {
+			hd.ReportSuccess(dest)
 			return bd, nil
 		}
-		if IsPermanent(err) || attempt >= pol.Retries {
+		if IsPermanent(err) {
+			// The peer answered — its refusal proves it is alive.
+			hd.ReportSuccess(dest)
+			return bd, err
+		}
+		hd.ReportFailure(dest)
+		if probing {
+			// The one probe this interval allowed just failed: the peer
+			// stays presumed dead and this dispatch ends here.
+			return bd, fmt.Errorf("%w: %v", ErrPeerDead, err)
+		}
+		if attempt >= pol.Retries {
 			return bd, err
 		}
 		if cerr := ctx.Err(); cerr != nil {

@@ -25,7 +25,9 @@ package navigator
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/cred"
 	"repro/internal/dedup"
 	"repro/internal/directory"
+	"repro/internal/health"
 	"repro/internal/id"
 	"repro/internal/manager"
 	"repro/internal/naplet"
@@ -217,6 +220,11 @@ type Config struct {
 	// (default dedup.DefaultTTL). A replay older than this is landed
 	// again; the window must outlive any plausible retry schedule.
 	DedupTTL time.Duration
+	// Health, when non-nil, receives per-peer reachability observations
+	// from the dispatch path and gates retries: dispatch to a peer the
+	// detector presumes dead fails fast with ErrPeerDead instead of
+	// burning the full backoff budget.
+	Health *health.Detector
 }
 
 // Navigator is the per-server migration component.
@@ -230,10 +238,12 @@ type Navigator struct {
 	cache  *registry.Cache
 	clock  func() time.Time
 
-	onLand LandFunc
-	admit  AdmitFunc
+	onLand  LandFunc
+	admit   AdmitFunc
+	persist func(rec *naplet.Record)
 
 	tidSeq   atomic.Uint64
+	bootID   string        // random per-boot nonce scoping transfer IDs
 	accepted *dedup.Window // transfer IDs already landed here
 
 	met *metrics
@@ -252,6 +262,10 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 	if treg == nil {
 		treg = telemetry.NewRegistry()
 	}
+	var nonce [4]byte
+	if _, err := cryptorand.Read(nonce[:]); err != nil {
+		panic(fmt.Sprintf("navigator: boot nonce: %v", err))
+	}
 	return &Navigator{
 		cfg:      cfg,
 		server:   server,
@@ -261,6 +275,7 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 		reg:      reg,
 		cache:    cache,
 		clock:    clock,
+		bootID:   hex.EncodeToString(nonce[:]),
 		met:      newMetrics(treg),
 		accepted: dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
 	}
@@ -268,9 +283,13 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 
 // NewTransferID mints an identifier for one logical migration; callers
 // that retry a Dispatch reuse the same ID so the destination can
-// deduplicate replayed transfers.
+// deduplicate replayed transfers. The per-boot nonce keeps IDs minted
+// after a restart distinct from the previous incarnation's: destinations
+// persist their accepted-transfer window in the durable dock, so a bare
+// counter restarting at 1 would make a fresh transfer look like a replay
+// and be absorbed without ever landing.
 func (n *Navigator) NewTransferID() string {
-	return fmt.Sprintf("%s/%d", n.server, n.tidSeq.Add(1))
+	return fmt.Sprintf("%s/%s/%d", n.server, n.bootID, n.tidSeq.Add(1))
 }
 
 // SetLandFunc installs the execution engine invoked for accepted naplets.
@@ -278,6 +297,26 @@ func (n *Navigator) SetLandFunc(f LandFunc) { n.onLand = f }
 
 // SetAdmitFunc installs the resource-admission veto.
 func (n *Navigator) SetAdmitFunc(f AdmitFunc) { n.admit = f }
+
+// SetPersistFunc installs a hook called synchronously inside HandleTransfer
+// with the newly landed record, after the landing is accepted and marked
+// but before the acknowledgement returns to the origin. A durable dock
+// commits its snapshot here, so a naplet acknowledged as landed survives a
+// crash of this server (commit-before-ack: the origin only releases its
+// copy after the ack).
+func (n *Navigator) SetPersistFunc(f func(rec *naplet.Record)) { n.persist = f }
+
+// AcceptedSnapshot returns the transfer IDs currently remembered by the
+// landing dedup window, for persistence across a restart.
+func (n *Navigator) AcceptedSnapshot() []string { return n.accepted.Keys() }
+
+// RestoreAccepted re-marks previously accepted transfer IDs so replays of
+// pre-restart migrations are still absorbed after recovery.
+func (n *Navigator) RestoreAccepted(ids []string) {
+	for _, id := range ids {
+		n.accepted.Mark(id)
+	}
+}
 
 // Stats snapshots the navigator's activity counters from the telemetry
 // registry.
@@ -590,6 +629,12 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	// validation or code loading must stay retryable under the same ID.
 	if transfer.TransferID != "" {
 		n.accepted.Mark(transfer.TransferID)
+	}
+	// Commit durable state before the ack leaves: once the origin hears
+	// "accepted" it releases its copy, so this server must be able to
+	// recover the naplet from its dock after a crash.
+	if n.persist != nil {
+		n.persist(rec)
 	}
 
 	if n.onLand != nil {

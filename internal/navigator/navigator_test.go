@@ -346,3 +346,24 @@ func TestCodeDeliveryString(t *testing.T) {
 		t.Fatal("mode names")
 	}
 }
+
+// TestNewTransferIDDistinctAcrossBoots guards the durable-dock interaction:
+// destinations persist their accepted-transfer window across restarts, so a
+// restarted server must not re-mint the IDs its previous incarnation used —
+// otherwise its first fresh dispatch is absorbed as a replay and the naplet
+// is acked without ever landing.
+func TestNewTransferIDDistinctAcrossBoots(t *testing.T) {
+	cache := registry.NewCache()
+	a := New(Config{}, "s1", nil, nil, nil, nil, cache, nil)
+	b := New(Config{}, "s1", nil, nil, nil, nil, cache, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		for _, n := range []*Navigator{a, b} {
+			tid := n.NewTransferID()
+			if seen[tid] {
+				t.Fatalf("transfer ID %q minted twice across incarnations", tid)
+			}
+			seen[tid] = true
+		}
+	}
+}

@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/cred"
 	"repro/internal/directory"
+	"repro/internal/dock"
 	"repro/internal/id"
 	"repro/internal/itinerary"
 	"repro/internal/manager"
@@ -40,6 +42,10 @@ type LaunchOptions struct {
 	MonitorPolicy *monitor.Policy
 	// TTL bounds credential validity; 0 means no expiry.
 	TTL time.Duration
+	// Failover selects what the visit engine does when a destination
+	// stays unreachable after the dispatch retry budget (see
+	// naplet.FailoverPolicy). The zero value traps the naplet.
+	Failover naplet.FailoverPolicy
 }
 
 // Launch creates and launches a naplet. The first itinerary decision is
@@ -74,6 +80,7 @@ func (s *Server) Launch(ctx context.Context, opts LaunchOptions) (id.NapletID, e
 	}
 
 	rec := naplet.NewRecord(nid, credential, opts.Codebase, s.name, itin)
+	rec.Failover = opts.Failover
 	if opts.InitState != nil {
 		if err := opts.InitState(rec.State); err != nil {
 			return id.NapletID{}, err
@@ -104,12 +111,17 @@ func (s *Server) launchFromControl(body ControlBody) (id.NapletID, error) {
 	if err != nil {
 		return id.NapletID{}, err
 	}
+	failover, err := naplet.ParseFailoverPolicy(body.Failover)
+	if err != nil {
+		return id.NapletID{}, err
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	return s.Launch(ctx, LaunchOptions{
 		Owner:    body.Owner,
 		Codebase: body.Codebase,
 		Pattern:  pattern,
+		Failover: failover,
 		InitState: func(st *state.State) error {
 			if len(body.Params) > 0 {
 				if err := st.SetPrivate("man.params", body.Params); err != nil {
@@ -181,13 +193,20 @@ func (s *Server) lifecycle(rec *naplet.Record, arrived bool, polOverride *monito
 	}
 
 	if arrived {
+		s.dockResident(rec, dock.PhaseVisiting, "", "")
 		if err := s.performVisit(g, nctx, behavior, rec.Pending); err != nil {
+			if errors.Is(err, monitor.ErrEvacuated) {
+				s.evacuateNaplet(s.reg.EvaluatorFor(rec.Codebase, nctx), rec)
+				return
+			}
 			s.trap(rec, err)
 			s.cleanup(rec, true)
 			return
 		}
 		rec.Pending = itinerary.Visit{}
+		rec.PendingAlts = nil
 	}
+	s.dockResident(rec, dock.PhaseResident, "", "")
 
 	s.advance(g, nctx, behavior, rec)
 }
@@ -197,8 +216,13 @@ func (s *Server) advance(g *monitor.Group, nctx *naplet.Context, behavior naplet
 	ev := s.reg.EvaluatorFor(rec.Codebase, nctx)
 	for {
 		// Cooperative preemption point: a suspended naplet pauses here
-		// between visits (and before departing); a terminated one traps.
+		// between visits (and before departing); a terminated one traps;
+		// an evacuated one (server draining) moves on.
 		if err := g.Checkpoint(); err != nil {
+			if errors.Is(err, monitor.ErrEvacuated) {
+				s.evacuateNaplet(ev, rec)
+				return
+			}
 			s.trap(rec, err)
 			s.cleanup(rec, true)
 			return
@@ -231,6 +255,10 @@ func (s *Server) advance(g *monitor.Group, nctx *naplet.Context, behavior naplet
 			if d.Visit.Server == s.name {
 				// Revisit of the current server: perform it in place.
 				if err := s.performVisit(g, nctx, behavior, d.Visit); err != nil {
+					if errors.Is(err, monitor.ErrEvacuated) {
+						s.evacuateNaplet(ev, rec)
+						return
+					}
 					s.trap(rec, err)
 					s.cleanup(rec, true)
 					return
@@ -241,33 +269,171 @@ func (s *Server) advance(g *monitor.Group, nctx *naplet.Context, behavior naplet
 				stop.OnStop(nctx)
 			}
 			rec.Pending = d.Visit
-			if err := s.dispatchWithRetry(rec, d.Visit.Server); err != nil {
+			rec.PendingAlts = d.Alternates
+			tid := s.nav.NewTransferID()
+			s.dockResident(rec, dock.PhaseDeparting, d.Visit.Server, tid)
+			if err := s.dispatchWithRetryID(rec, d.Visit.Server, tid); err != nil {
+				switch s.applyFailover(rec, d.Visit, d.Alternates, err) {
+				case failoverContinue:
+					// Rerouted: the itinerary was rewritten in place;
+					// re-enter the decision loop as a resident.
+					rec.Pending = itinerary.Visit{}
+					rec.PendingAlts = nil
+					s.dockResident(rec, dock.PhaseResident, "", "")
+					continue
+				case failoverDeparted:
+					return
+				}
 				s.trap(rec, fmt.Errorf("dispatch to %s: %w", d.Visit.Server, err))
 				s.cleanup(rec, true)
 				return
 			}
-			// Departed: forward mailbox leftovers and release residency.
-			left := s.msgr.CloseMailbox(rec.ID)
-			if len(left) > 0 {
-				fctx, fcancel := context.WithTimeout(context.Background(), 30*time.Second)
-				_ = s.msgr.ForwardLeftovers(fctx, d.Visit.Server, left)
-				fcancel()
-			}
-			s.mon.Remove(rec.ID)
-			s.reportStatus(rec, manager.StatusInTransit, "")
+			s.departed(rec, d.Visit.Server)
 			return
 		}
 	}
 }
 
-// dispatchWithRetry migrates the naplet under the navigator's retry
+// failoverOutcome says how applyFailover disposed of a failed dispatch.
+type failoverOutcome int
+
+const (
+	// failoverNone: policy does not apply; the caller traps the naplet.
+	failoverNone failoverOutcome = iota
+	// failoverContinue: the itinerary was rewritten; the caller re-enters
+	// the decision loop at this server.
+	failoverContinue
+	// failoverDeparted: the naplet left (or ended) under the policy; the
+	// caller just returns.
+	failoverDeparted
+)
+
+// applyFailover reacts to a dispatch that exhausted its retry budget (or
+// was refused) according to the naplet's failover policy.
+func (s *Server) applyFailover(rec *naplet.Record, v itinerary.Visit, alts []*itinerary.Pattern, derr error) failoverOutcome {
+	record := func(policy string) {
+		rec.Log.RecordReroute(naplet.Reroute{
+			Visit:  v.String(),
+			Policy: policy,
+			Detail: derr.Error(),
+			At:     s.clock(),
+		})
+		s.failovers.Inc()
+	}
+	switch rec.Failover {
+	case naplet.FailoverAlternates:
+		// Replace the remaining itinerary with the Alt siblings the guard
+		// evaluation did not choose; re-evaluation picks the first live
+		// one. With no alternates left, degrade to skipping the visit.
+		if len(alts) > 0 {
+			record("alternate")
+			if len(alts) == 1 {
+				rec.Itin.Remaining = alts[0]
+			} else {
+				rec.Itin.Remaining = itinerary.Alt(alts...)
+			}
+			return failoverContinue
+		}
+		record("skip")
+		return failoverContinue
+	case naplet.FailoverSkip:
+		// The itinerary already advanced past the visit when the decision
+		// was taken; continuing the loop simply skips it.
+		record("skip")
+		return failoverContinue
+	case naplet.FailoverHome:
+		// Abandon the tour: nothing remains but returning to the home
+		// server, where the itinerary completes.
+		record("home")
+		rec.Itin.Remaining = nil
+		if rec.Home == s.name {
+			return failoverContinue
+		}
+		rec.Pending = itinerary.Visit{}
+		rec.PendingAlts = nil
+		tid := s.nav.NewTransferID()
+		s.dockResident(rec, dock.PhaseDeparting, rec.Home, tid)
+		if err := s.dispatchWithRetryID(rec, rec.Home, tid); err != nil {
+			s.trap(rec, fmt.Errorf("failover home to %s: %w", rec.Home, err))
+			s.cleanup(rec, true)
+			return failoverDeparted
+		}
+		s.departed(rec, rec.Home)
+		return failoverDeparted
+	default:
+		return failoverNone
+	}
+}
+
+// evacuateNaplet moves a naplet off a draining server: its next itinerary
+// stop when that stop is elsewhere, otherwise its home server. A naplet
+// already home with nothing left elsewhere ends here, reported as
+// terminated by the evacuation.
+func (s *Server) evacuateNaplet(ev itinerary.Evaluator, rec *naplet.Record) {
+	interrupted := rec.Pending
+	dest := ""
+	if d, err := rec.Itin.Next(ev); err == nil && d.Kind == itinerary.DecisionVisit && d.Visit.Server != s.name {
+		rec.Pending = d.Visit
+		rec.PendingAlts = d.Alternates
+		dest = d.Visit.Server
+	}
+	if dest == "" && rec.Home != s.name {
+		// No onward stop: take refuge at home, abandoning what remains.
+		rec.Itin.Remaining = nil
+		rec.Pending = itinerary.Visit{}
+		rec.PendingAlts = nil
+		dest = rec.Home
+	}
+	if dest == "" {
+		s.cleanup(rec, true)
+		s.reportStatus(rec, manager.StatusTerminated, "evacuated: server draining")
+		return
+	}
+	rec.Log.RecordReroute(naplet.Reroute{
+		Visit:  interrupted.String(),
+		Policy: "evacuate",
+		Detail: fmt.Sprintf("server %s draining", s.name),
+		At:     s.clock(),
+	})
+	s.failovers.Inc()
+	tid := s.nav.NewTransferID()
+	s.dockResident(rec, dock.PhaseDeparting, dest, tid)
+	if err := s.dispatchWithRetryID(rec, dest, tid); err != nil {
+		s.trap(rec, fmt.Errorf("evacuate to %s: %w", dest, err))
+		s.cleanup(rec, true)
+		return
+	}
+	s.departed(rec, dest)
+}
+
+// departed releases a dispatched naplet's local residency: dock entry,
+// mailbox (leftovers forwarded to the destination), monitor group, and the
+// in-transit status report.
+func (s *Server) departed(rec *naplet.Record, dest string) {
+	s.dockRemove(rec.ID)
+	left := s.msgr.CloseMailbox(rec.ID)
+	if len(left) > 0 {
+		fctx, fcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = s.msgr.ForwardLeftovers(fctx, dest, left)
+		fcancel()
+	}
+	s.mon.Remove(rec.ID)
+	s.reportStatus(rec, manager.StatusInTransit, "")
+}
+
+// dispatchWithRetryID migrates the naplet under the navigator's retry
 // policy: exponential backoff with jitter, one transfer ID for the whole
 // logical migration (the destination deduplicates replays after a lost
 // acknowledgement), and fail-fast on policy refusals — the destination's
-// decision is authoritative.
-func (s *Server) dispatchWithRetry(rec *naplet.Record, dest string) error {
+// decision is authoritative. The caller mints (and docks) the transfer ID
+// so a crash mid-dispatch can replay under the same identity.
+func (s *Server) dispatchWithRetryID(rec *naplet.Record, dest, tid string) error {
 	pol := s.dispatchPolicy()
-	_, err := s.nav.DispatchRetry(context.Background(), rec, dest, pol, s.closed)
+	// A naplet carrying a failover policy has somewhere to go when the
+	// destination is presumed dead, so its dispatch consults the failure
+	// detector and fails fast; one without rides the full retry budget.
+	pol.FailFast = rec.Failover != naplet.FailoverNone
+	_, err := s.nav.DispatchRetryID(context.Background(), rec, dest, tid, pol, s.closed)
 	return err
 }
 
@@ -408,6 +574,7 @@ func (s *Server) cleanup(rec *naplet.Record, end bool) {
 	s.msgr.CloseMailbox(rec.ID)
 	if end {
 		s.mgr.RecordEnd(rec.ID, s.clock())
+		s.dockRemove(rec.ID)
 	}
 	s.mon.Remove(rec.ID)
 }

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/itinerary"
+	"repro/internal/manager"
+	"repro/internal/naplet"
+	"repro/internal/registry"
+)
+
+// robustAgent visits servers appending each name to its tour, optionally
+// blocking at one server (to stage an evacuation), and reports the tour
+// plus any navigation-log reroutes at the end of its life:
+// "s1,s2|policy@<visit>|...".
+type robustAgent struct {
+	blockAt string
+	arrived chan struct{}
+}
+
+func (a robustAgent) OnStart(ctx *naplet.Context) error {
+	var tour []string
+	ctx.State().Load("tour", &tour)
+	tour = append(tour, ctx.Server)
+	if err := ctx.State().SetPrivate("tour", tour); err != nil {
+		return err
+	}
+	if a.blockAt != "" && ctx.Server == a.blockAt {
+		if a.arrived != nil {
+			select {
+			case a.arrived <- struct{}{}:
+			default:
+			}
+		}
+		<-ctx.Cancel.Done()
+		return ctx.Cancel.Err()
+	}
+	return nil
+}
+
+func (a robustAgent) OnDestroy(ctx *naplet.Context) {
+	var tour []string
+	ctx.State().Load("tour", &tour)
+	parts := []string{strings.Join(tour, ",")}
+	for _, r := range ctx.Log().Reroutes() {
+		parts = append(parts, r.Policy+"@"+r.Visit)
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ctx.Listener.Report(rctx, []byte(strings.Join(parts, "|")))
+}
+
+func registerRobust(reg *registry.Registry) {
+	reg.MustRegister(&registry.Codebase{
+		Name: "test.Robust",
+		New:  func() naplet.Behavior { return robustAgent{} },
+	})
+}
+
+// launchRobust launches a robust agent with the given failover policy,
+// waits for completion, and returns the report channel.
+func launchRobust(t *testing.T, sp *space, codebase string, p *itinerary.Pattern, pol naplet.FailoverPolicy) chan string {
+	t.Helper()
+	results := make(chan string, 1)
+	nid, err := sp.servers["home"].Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: codebase,
+		Pattern:  p,
+		Failover: pol,
+		Listener: func(r manager.Result) { results <- string(r.Body) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, sp.servers["home"], nid, manager.StatusCompleted)
+	return results
+}
+
+func TestFailoverSkipDeadVisit(t *testing.T) {
+	// "ghost" is never attached: the dispatch exhausts its budget and the
+	// skip policy drops the visit, recording the reroute in the nav log.
+	sp := newSpace(t, spaceOpts{}, "home", "s1", "s3")
+	registerRobust(sp.reg)
+	results := launchRobust(t, sp, "test.Robust",
+		itinerary.SeqVisits([]string{"s1", "ghost", "s3"}, ""), naplet.FailoverSkip)
+	got := <-results
+	if got != "s1,s3|skip@<ghost>" {
+		t.Fatalf("report = %q, want %q", got, "s1,s3|skip@<ghost>")
+	}
+}
+
+func TestFailoverAlternatesReroute(t *testing.T) {
+	// The Alt chose ghost (first unguarded branch); when it proves dead the
+	// engine replaces the remaining itinerary with the unchosen sibling.
+	sp := newSpace(t, spaceOpts{}, "home", "s1", "s2", "s3")
+	registerRobust(sp.reg)
+	p := itinerary.Seq(
+		itinerary.Singleton(itinerary.Visit{Server: "s1"}),
+		itinerary.Alt(
+			itinerary.Singleton(itinerary.Visit{Server: "ghost"}),
+			itinerary.Singleton(itinerary.Visit{Server: "s2"}),
+		),
+		itinerary.Singleton(itinerary.Visit{Server: "s3"}),
+	)
+	results := launchRobust(t, sp, "test.Robust", p, naplet.FailoverAlternates)
+	got := <-results
+	if got != "s1,s2,s3|alternate@<ghost>" {
+		t.Fatalf("report = %q, want %q", got, "s1,s2,s3|alternate@<ghost>")
+	}
+}
+
+func TestFailoverReturnHome(t *testing.T) {
+	// The home policy abandons the tour at the dead stop: s3 is never
+	// visited and the naplet completes back at its home server.
+	sp := newSpace(t, spaceOpts{}, "home", "s1", "s3")
+	registerRobust(sp.reg)
+	results := launchRobust(t, sp, "test.Robust",
+		itinerary.SeqVisits([]string{"s1", "ghost", "s3"}, ""), naplet.FailoverHome)
+	got := <-results
+	if got != "s1,home|home@<ghost>" {
+		t.Fatalf("report = %q, want %q", got, "s1,home|home@<ghost>")
+	}
+}
+
+func TestDrainEvacuatesResidents(t *testing.T) {
+	// A naplet blocked mid-visit at s1 is evacuated by Drain: its visit is
+	// interrupted, it takes refuge at home, and the drain leaves s1 empty
+	// and refusing new work.
+	sp := newSpace(t, spaceOpts{}, "home", "s1")
+	arrived := make(chan struct{}, 1)
+	sp.reg.MustRegister(&registry.Codebase{
+		Name: "test.RobustArrive",
+		New:  func() naplet.Behavior { return robustAgent{blockAt: "s1", arrived: arrived} },
+	})
+	results := make(chan string, 1)
+	nid, err := sp.servers["home"].Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.RobustArrive",
+		Pattern:  itinerary.SeqVisits([]string{"s1"}, ""),
+		Listener: func(r manager.Result) { results <- string(r.Body) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the naplet is established mid-visit at s1.
+	select {
+	case <-arrived:
+	case <-time.After(10 * time.Second):
+		t.Fatal("naplet never became resident at s1")
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sp.servers["s1"].Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !sp.servers["s1"].Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	if n := sp.servers["s1"].Manager().Resident(); n != 0 {
+		t.Fatalf("residents after drain = %d, want 0", n)
+	}
+
+	waitDone(t, sp.servers["home"], nid, manager.StatusCompleted)
+	got := <-results
+	if !strings.Contains(got, "evacuate@") {
+		t.Fatalf("report = %q, want an evacuate reroute", got)
+	}
+	if !strings.HasPrefix(got, "s1,home|") {
+		t.Fatalf("report = %q, want tour s1,home", got)
+	}
+}
+
+func TestDrainRefusesLandings(t *testing.T) {
+	sp := newSpace(t, spaceOpts{}, "home", "s1")
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := sp.servers["s1"].Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	nid, err := sp.servers["home"].Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Pattern:  itinerary.SeqVisits([]string{"s1"}, ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, sp.servers["home"], nid, manager.StatusTrapped)
+	_, errText, _ := sp.servers["home"].Status(nid)
+	if !strings.Contains(errText, "draining") {
+		t.Fatalf("trap error = %q, want a draining refusal", errText)
+	}
+}
+
+func TestCloseWithdrawsDirectoryRegistrations(t *testing.T) {
+	// Regression: a closed server used to leave its directory entries
+	// behind, so peers kept dispatching naplets and mail at a dead dock.
+	sp := newSpace(t, spaceOpts{directory: true}, "home", "s1")
+	nid, err := sp.servers["home"].Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Collector",
+		Pattern:  itinerary.SeqVisits([]string{"s1"}, ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, sp.servers["home"], nid, manager.StatusCompleted)
+
+	present := false
+	for _, e := range sp.dir.Snapshot() {
+		if e.Server == "s1" {
+			present = true
+		}
+	}
+	if !present {
+		t.Fatal("no directory entry points at s1 before close; test is vacuous")
+	}
+
+	if err := sp.servers["s1"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sp.dir.Snapshot() {
+		if e.Server == "s1" {
+			t.Fatalf("directory still holds %v -> s1 after Close", e.NapletID)
+		}
+	}
+}

@@ -20,9 +20,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cred"
+	"repro/internal/directory"
+	"repro/internal/dock"
+	"repro/internal/health"
 	"repro/internal/id"
 	"repro/internal/locator"
 	"repro/internal/manager"
@@ -90,6 +94,14 @@ type Config struct {
 	// Tracer records one span per migration hop; nil creates a per-server
 	// tracer (retrievable via Server.Tracer).
 	Tracer *telemetry.HopTracer
+	// Health is the peer failure detector consulted by the dispatch
+	// path; supply one to control thresholds or the probe clock. Nil
+	// builds a default detector on the server clock.
+	Health *health.Detector
+	// Dock, when non-nil, persists resident naplets, held mail and home
+	// registrations across restarts: the server snapshots to it at every
+	// state-changing point and restores from it on construction.
+	Dock *dock.Store
 }
 
 // Server is one naplet server: a dock of naplets on a host.
@@ -108,11 +120,19 @@ type Server struct {
 	loc    *locator.Locator
 	msgr   *messenger.Messenger
 	nav    *navigator.Navigator
-	telem  *telemetry.Registry
-	tracer *telemetry.HopTracer
+	telem     *telemetry.Registry
+	tracer    *telemetry.HopTracer
+	hd        *health.Detector
+	failovers *telemetry.Counter
 
 	mintMu sync.Mutex
 	minted map[string]time.Time
+
+	dockMu      sync.Mutex
+	dockStore   *dock.Store
+	dockEntries map[string]*dock.Resident
+
+	draining atomic.Bool
 
 	wg     sync.WaitGroup
 	ready  chan struct{}
@@ -145,16 +165,24 @@ func New(cfg Config) (*Server, error) {
 		cfg.Tracer = telemetry.NewHopTracer(0)
 	}
 
+	hd := cfg.Health
+	if hd == nil {
+		hd = health.New(health.Config{Clock: clock, Telemetry: cfg.Telemetry})
+	}
+
 	s := &Server{
-		cfg:    cfg,
-		clock:  clock,
-		reg:    cfg.Registry,
-		cache:  registry.NewCache(),
-		telem:  cfg.Telemetry,
-		tracer: cfg.Tracer,
-		minted: make(map[string]time.Time),
-		ready:  make(chan struct{}),
-		closed: make(chan struct{}),
+		cfg:         cfg,
+		clock:       clock,
+		reg:         cfg.Registry,
+		cache:       registry.NewCache(),
+		telem:       cfg.Telemetry,
+		tracer:      cfg.Tracer,
+		hd:          hd,
+		minted:      make(map[string]time.Time),
+		dockStore:   cfg.Dock,
+		dockEntries: make(map[string]*dock.Resident),
+		ready:       make(chan struct{}),
+		closed:      make(chan struct{}),
 	}
 	// Attach first: a TCP fabric resolves port 0 to a concrete address,
 	// which then becomes the server's name throughout the component stack.
@@ -173,6 +201,8 @@ func New(cfg Config) (*Server, error) {
 	s.telem.GaugeFunc("naplet_server_residents", "naplets currently resident at this server", func() float64 {
 		return float64(s.mgr.Resident())
 	})
+	s.failovers = s.telem.Counter("naplet_server_failovers_total",
+		"itinerary reroutes taken after a dead destination or evacuation")
 
 	s.loc = locator.New(locator.Config{
 		Mode:          cfg.LocatorMode,
@@ -189,15 +219,24 @@ func New(cfg Config) (*Server, error) {
 		ReportHome:    cfg.ReportHome,
 		Telemetry:     s.telem,
 		Tracer:        s.tracer,
+		Health:        hd,
 	}, s.name, node, s.sec, s.mgr, s.reg, s.cache, clock)
 
 	s.nav.SetLandFunc(s.land)
-	if cfg.MaxResidents > 0 {
-		s.nav.SetAdmitFunc(func(req navigator.LandingRequestBody) error {
-			if s.mgr.Resident() >= cfg.MaxResidents {
-				return fmt.Errorf("server %s: at capacity (%d residents)", s.name, cfg.MaxResidents)
-			}
-			return nil
+	s.nav.SetAdmitFunc(func(req navigator.LandingRequestBody) error {
+		if s.draining.Load() {
+			return fmt.Errorf("server %s: draining, not accepting naplets", s.name)
+		}
+		if cfg.MaxResidents > 0 && s.mgr.Resident() >= cfg.MaxResidents {
+			return fmt.Errorf("server %s: at capacity (%d residents)", s.name, cfg.MaxResidents)
+		}
+		return nil
+	})
+	if s.dockStore != nil {
+		// Commit-before-ack: a landed naplet is on disk before the origin
+		// hears "accepted" and releases its copy.
+		s.nav.SetPersistFunc(func(rec *naplet.Record) {
+			s.dockResident(rec, dock.PhaseVisiting, "", "")
 		})
 	}
 	// System messages cast interrupts onto the resident naplet's group.
@@ -210,6 +249,12 @@ func New(cfg Config) (*Server, error) {
 		return true
 	})
 	close(s.ready)
+	if s.dockStore != nil {
+		if err := s.restoreFromDock(); err != nil {
+			s.node.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -249,6 +294,13 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.telem }
 // Tracer returns the server's migration hop tracer.
 func (s *Server) Tracer() *telemetry.HopTracer { return s.tracer }
 
+// Health returns the server's peer failure detector.
+func (s *Server) Health() *health.Detector { return s.hd }
+
+// Draining reports whether the server has stopped accepting new work
+// (Drain was called). A health endpoint should turn not-ready on this.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close detaches the server and waits for resident visit engines.
 func (s *Server) Close() error {
 	select {
@@ -259,9 +311,67 @@ func (s *Server) Close() error {
 	}
 	// Unblock resident naplets so their lifecycle goroutines can exit.
 	s.mon.KillAll()
+	// Withdraw directory state while the node can still send: peers should
+	// fail fast on fresh information, not dispatch at a closed dock.
+	s.withdrawRegistrations()
 	err := s.node.Close()
 	s.wg.Wait()
 	return err
+}
+
+// Drain gracefully evacuates the server ahead of a shutdown: admissions
+// stop, resident naplets are asked to leave (next stop or home), held mail
+// is flushed onward, the dock takes a final snapshot, and the directory
+// registrations pointing here are withdrawn. Bounded by ctx; the caller
+// follows with Close. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	s.mon.EvacuateAll()
+	// Residents leave on their own lifecycle goroutines; wait (bounded)
+	// for the dock to empty.
+	for s.mgr.Resident() > 0 {
+		select {
+		case <-ctx.Done():
+			s.finishDrain(ctx)
+			return ctx.Err()
+		case <-s.closed:
+			s.finishDrain(ctx)
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	s.finishDrain(ctx)
+	return nil
+}
+
+// finishDrain flushes mail, commits the final dock snapshot, and withdraws
+// directory registrations.
+func (s *Server) finishDrain(ctx context.Context) {
+	fctx := ctx
+	if fctx.Err() != nil {
+		// The drain deadline passed; still give the flush a short grace.
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+	}
+	_ = s.msgr.FlushHeld(fctx)
+	if s.dockStore != nil {
+		s.dockCommit()
+	}
+	s.withdrawRegistrations()
+}
+
+// withdrawRegistrations removes this server's entries from the central
+// directory so peers stop routing naplets and mail here. Best effort.
+func (s *Server) withdrawRegistrations() {
+	if s.cfg.DirectoryAddr == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = directory.NewClient(s.node, s.cfg.DirectoryAddr).DeregisterServer(ctx, s.name)
 }
 
 // handle is the server's composite frame handler, dispatching to the
@@ -281,7 +391,13 @@ func (s *Server) handle(from string, f wire.Frame) (wire.Frame, error) {
 	case wire.KindHomeEvent:
 		return s.nav.HandleHomeEvent(from, f)
 	case wire.KindPost:
-		return s.msgr.HandlePost(from, f)
+		reply, err := s.msgr.HandlePost(from, f)
+		// Commit mail durably before the sender hears its confirmation:
+		// a held or queued message acknowledged here must survive a crash.
+		if err == nil && s.dockStore != nil {
+			s.dockCommit()
+		}
+		return reply, err
 	case wire.KindLocatorQuery:
 		return s.loc.HandleQuery(from, f)
 	case wire.KindReport:
@@ -341,6 +457,9 @@ type ControlBody struct {
 	Params []string
 	// StateKV seeds private string state entries.
 	StateKV map[string]string
+	// Failover names the itinerary failover policy ("", "none", "skip",
+	// "alternates", "home").
+	Failover string
 }
 
 // ControlReplyBody answers a ControlBody.

@@ -142,6 +142,7 @@ type space struct {
 	net     *netsim.Network
 	reg     *registry.Registry
 	servers map[string]*Server
+	dir     *directory.Service
 }
 
 type spaceOpts struct {
@@ -152,6 +153,8 @@ type spaceOpts struct {
 	ring      *cred.KeyRing
 	monitor   monitor.Policy
 	residents int
+	// mutate, when set, adjusts each server's config before construction.
+	mutate func(name string, cfg *Config)
 }
 
 func newSpace(t *testing.T, opts spaceOpts, names ...string) *space {
@@ -164,12 +167,13 @@ func newSpace(t *testing.T, opts spaceOpts, names ...string) *space {
 	dirAddr := ""
 	if opts.directory {
 		dirAddr = "dir"
-		if _, err := directory.NewService().Serve(sp.net, "dir"); err != nil {
+		sp.dir = directory.NewService()
+		if _, err := sp.dir.Serve(sp.net, "dir"); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for _, name := range names {
-		srv, err := New(Config{
+		cfg := Config{
 			Name:          name,
 			Fabric:        sp.net,
 			Registry:      sp.reg,
@@ -180,7 +184,11 @@ func newSpace(t *testing.T, opts spaceOpts, names ...string) *space {
 			ReportHome:    opts.reportHm,
 			MonitorPolicy: opts.monitor,
 			MaxResidents:  opts.residents,
-		})
+		}
+		if opts.mutate != nil {
+			opts.mutate(name, &cfg)
+		}
+		srv, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -52,9 +52,10 @@ const (
 	KindCodeBundle Kind = "registry.code-bundle"
 
 	// Directory protocol (§4.1).
-	KindDirRegister Kind = "directory.register"
-	KindDirLookup   Kind = "directory.lookup"
-	KindDirReply    Kind = "directory.reply"
+	KindDirRegister   Kind = "directory.register"
+	KindDirLookup     Kind = "directory.lookup"
+	KindDirReply      Kind = "directory.reply"
+	KindDirDeregister Kind = "directory.deregister"
 
 	// Post-office messaging protocol (§4.2).
 	KindPost        Kind = "messenger.post"
