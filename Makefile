@@ -7,7 +7,8 @@ verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/...
+	go run ./cmd/migrationbench -check BENCH_migration.json
 	$(MAKE) chaos
 
 # chaos runs the seeded fault-injection suites under the race detector:
@@ -38,11 +39,22 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzDecode -fuzztime 15s ./internal/wire/
 	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
 
+# bench-migration regenerates BENCH_migration.json: record/mail codec cost
+# under the binary codec and the gob baseline it replaced, plus full
+# naplet hops (landing, transfer, ack) over real TCP and the simulated
+# WAN. `migrationbench -check` (run by verify) fails if allocs/op regress
+# >10% against the committed file.
+bench-migration:
+	go run ./cmd/migrationbench -count 5 -o BENCH_migration.json
+
 # fuzz-smoke gives every fuzz target ~10 seconds — enough to catch a fresh
 # regression in the corpus-adjacent input space without slowing CI.
 fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
 	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/wire/
 	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/itinerary/
+	go test -run '^$$' -fuzz 'FuzzDecodeRecord$$' -fuzztime 10s ./internal/naplet/
+	go test -run '^$$' -fuzz 'FuzzDecodeMail$$' -fuzztime 10s ./internal/naplet/
+	go test -run '^$$' -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/dock/
 
-.PHONY: verify chaos bench bench-telemetry fuzz fuzz-smoke
+.PHONY: verify chaos bench bench-telemetry bench-migration fuzz fuzz-smoke

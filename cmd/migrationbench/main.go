@@ -1,0 +1,427 @@
+// Command migrationbench benchmarks the migration hot path: record and
+// mail serialization under both codecs (the gob baseline lives in the same
+// report, so the binary codec's win is measured, not asserted), and full
+// naplet hops — landing negotiation, transfer, ack — over real TCP and
+// over a simulated WAN. Results land in BENCH_migration.json via `make
+// bench-migration`.
+//
+// With -check <file>, the deterministic codec benchmarks are re-run and
+// compared against the committed baseline: a >10% regression in allocs/op
+// fails the run (allocation counts are deterministic, so the check is
+// noise-free; ns/op is reported but not gated).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/id"
+	"repro/internal/itinerary"
+	"repro/internal/manager"
+	"repro/internal/naplet"
+	"repro/internal/navigator"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/state"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type sample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type result struct {
+	Name    string   `json:"name"`
+	Samples []sample `json:"samples"`
+	Median  sample   `json:"median"`
+}
+
+type report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Count       int      `json:"count"`
+	Results     []result `json:"results"`
+}
+
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+	// deterministic marks codec-only benchmarks whose allocs/op cannot
+	// vary run to run; only these participate in -check.
+	deterministic bool
+}
+
+func main() {
+	count := flag.Int("count", 5, "samples per benchmark")
+	out := flag.String("o", "BENCH_migration.json", "output JSON path")
+	check := flag.String("check", "", "baseline JSON to regression-check against (codec benches only)")
+	flag.Parse()
+
+	benches := []bench{
+		{"codec/record-encode-binary", benchRecordEncodeBinary, true},
+		{"codec/record-decode-binary", benchRecordDecodeBinary, true},
+		{"codec/record-encode-gob", benchRecordEncodeGob, true},
+		{"codec/record-decode-gob", benchRecordDecodeGob, true},
+		{"codec/mail-roundtrip-binary", benchMailRoundTripBinary, true},
+		{"codec/mail-roundtrip-gob", benchMailRoundTripGob, true},
+		{"hop/netsim-wan", benchHopNetsimWAN, false},
+		{"hop/tcp", benchHopTCP, false},
+	}
+	if *check != "" {
+		if err := runCheck(*check, benches, *count); err != nil {
+			fatal(err)
+		}
+		fmt.Println("migrationbench: regression check passed")
+		return
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Count:       *count,
+	}
+	for _, bm := range benches {
+		res := run(bm, *count)
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op  (median of %d)\n",
+			bm.name, res.Median.NsPerOp, res.Median.BytesPerOp, res.Median.AllocsPerOp, *count)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func run(bm bench, count int) result {
+	res := result{Name: bm.name}
+	for i := 0; i < count; i++ {
+		r := testing.Benchmark(bm.fn)
+		res.Samples = append(res.Samples, sample{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	res.Median = median(res.Samples)
+	return res
+}
+
+// runCheck re-runs the deterministic codec benchmarks and fails if
+// allocs/op regressed more than 10% against the committed baseline.
+func runCheck(path string, benches []bench, count int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	baseline := make(map[string]sample, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r.Median
+	}
+	var failures []string
+	for _, bm := range benches {
+		if !bm.deterministic {
+			continue
+		}
+		want, ok := baseline[bm.name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", bm.name))
+			continue
+		}
+		got := run(bm, count).Median
+		limit := float64(want.AllocsPerOp) * 1.10
+		status := "ok"
+		if float64(got.AllocsPerOp) > limit {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %d exceeds baseline %d by >10%%",
+				bm.name, got.AllocsPerOp, want.AllocsPerOp))
+		}
+		fmt.Printf("%-28s allocs/op %6d (baseline %6d) %s\n",
+			bm.name, got.AllocsPerOp, want.AllocsPerOp, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func median(s []sample) sample {
+	sorted := append([]sample(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NsPerOp < sorted[j].NsPerOp })
+	return sorted[len(sorted)/2]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "migrationbench:", err)
+	os.Exit(1)
+}
+
+// benchTime is fixed so record contents are identical across runs.
+var benchTime = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// benchRecord builds a representative migrating naplet: a toured ID with
+// heritage, signed-credential-shaped bytes, a few state keys, a partially
+// consumed itinerary, a populated address book, and a multi-hop nav log.
+func benchRecord() *naplet.Record {
+	nid, err := id.MustNew("czxu", "sa", benchTime).Clone(2)
+	if err != nil {
+		fatal(err)
+	}
+	st := state.New()
+	if err := st.SetPublic("best-price", 42); err != nil {
+		fatal(err)
+	}
+	if err := st.SetPrivate("tour", []string{"sa", "sb", "sc"}); err != nil {
+		fatal(err)
+	}
+	book := naplet.NewAddressBook()
+	book.Add(id.MustNew("czxu", "sa", benchTime), "naplet://sa:4100")
+	book.Add(id.MustNew("amgr", "sb", benchTime), "naplet://sb:4100")
+	log := naplet.NewNavigationLog()
+	for i, s := range []string{"sa:1", "sb:2", "sc:3"} {
+		at := benchTime.Add(time.Duration(i) * time.Minute)
+		log.RecordArrival(s, at)
+		if i < 2 {
+			log.RecordDeparture(s, at.Add(30*time.Second))
+		}
+	}
+	return &naplet.Record{
+		ID: nid,
+		Credential: cred.Credential{
+			NapletID:  nid,
+			Codebase:  "bench.Agent",
+			Roles:     []string{"guest"},
+			IssuedAt:  benchTime,
+			Signature: make([]byte, 32),
+		},
+		Codebase: "bench.Agent",
+		Home:     "sa:1",
+		State:    st,
+		Itin: &itinerary.Itinerary{
+			Remaining: itinerary.SeqVisits([]string{"sd", "se"}, "collect"),
+		},
+		Book:     book,
+		Log:      log,
+		Pending:  itinerary.Visit{Server: "sd", Action: "collect"},
+		Failover: naplet.FailoverSkip,
+		CloneSeq: 2,
+	}
+}
+
+func benchMail() naplet.Message {
+	return naplet.Message{
+		ID:      "sa/m-17",
+		From:    id.MustNew("czxu", "sa", benchTime),
+		To:      id.MustNew("amgr", "sb", benchTime),
+		Class:   naplet.UserMessage,
+		Subject: "price-quote",
+		Body:    make([]byte, 256),
+		SentAt:  benchTime,
+	}
+}
+
+func benchRecordEncodeBinary(b *testing.B) {
+	rec := benchRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := navigator.EncodeRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecordDecodeBinary(b *testing.B) {
+	data, err := navigator.EncodeRecord(benchRecord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := navigator.DecodeRecord(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecordEncodeGob(b *testing.B) {
+	rec := benchRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Marshal(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecordDecodeGob(b *testing.B) {
+	data, err := wire.Marshal(benchRecord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := navigator.DecodeRecord(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMailRoundTripBinary(b *testing.B) {
+	msg := benchMail()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := msg.AppendBinary(make([]byte, 0, msg.EncodedSize()))
+		if _, _, err := naplet.DecodeMessageBinary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMailRoundTripGob(b *testing.B) {
+	msg := benchMail()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := wire.Marshal(&msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dec naplet.Message
+		if err := wire.Unmarshal(enc, &dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Full hops ----
+
+type hopNode struct {
+	nav    *navigator.Navigator
+	mgr    *manager.Manager
+	landed chan *naplet.Record
+}
+
+func attachHopNode(fab transport.Fabric, addr string, reg *registry.Registry) (*hopNode, string, error) {
+	n := &hopNode{
+		landed: make(chan *naplet.Record, 1),
+	}
+	tnode, err := fab.Attach(addr, func(from string, f wire.Frame) (wire.Frame, error) {
+		switch f.Kind {
+		case wire.KindLandingRequest:
+			return n.nav.HandleLandingRequest(from, f)
+		case wire.KindNapletTransfer:
+			return n.nav.HandleTransfer(from, f)
+		case wire.KindCodeFetch:
+			return n.nav.HandleCodeFetch(from, f)
+		case wire.KindHomeEvent:
+			return n.nav.HandleHomeEvent(from, f)
+		default:
+			return wire.Frame{}, fmt.Errorf("unexpected kind %s", f.Kind)
+		}
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	name := tnode.Addr()
+	n.mgr = manager.New(name, func() time.Time { return time.Now() })
+	n.nav = navigator.New(navigator.Config{CodeDelivery: navigator.Push},
+		name, tnode, nil, n.mgr, reg, registry.NewCache(), nil)
+	n.nav.SetLandFunc(func(rec *naplet.Record, source string) { n.landed <- rec })
+	return n, name, nil
+}
+
+type benchAgent struct{}
+
+func (benchAgent) OnStart(ctx *naplet.Context) error { return nil }
+
+// benchHop ping-pongs one naplet between two servers; each iteration is a
+// complete migration: landing request/grant, record transfer, ack, and
+// directory bookkeeping. Code moves only on the first hop (warm caches
+// after that, like a real tour).
+func benchHop(b *testing.B, fab transport.Fabric, addrA, addrB string) {
+	reg := registry.New()
+	reg.MustRegister(&registry.Codebase{
+		Name:       "bench.Agent",
+		New:        func() naplet.Behavior { return benchAgent{} },
+		BundleSize: 32 << 10,
+	})
+	na, nameA, err := attachHopNode(fab, addrA, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, nameB, err := attachHopNode(fab, addrB, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := benchRecord()
+	rec.Home = nameA
+	ctx := context.Background()
+
+	hop := func(from, to *hopNode, dest string, r *naplet.Record) *naplet.Record {
+		from.mgr.RecordArrival(r.ID, r.Codebase, "bench", time.Now())
+		if _, err := from.nav.Dispatch(ctx, r, dest); err != nil {
+			b.Fatal(err)
+		}
+		return <-to.landed
+	}
+
+	// Warm-up hops: load the code cache at both ends so the measured loop
+	// is steady state, the way a mid-tour hop is.
+	rec = hop(na, nb, nameB, rec)
+	rec = hop(nb, na, nameA, rec)
+
+	nodes := [2]*hopNode{na, nb}
+	names := [2]string{nameA, nameB}
+	cur := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := 1 - cur
+		rec = hop(nodes[cur], nodes[next], names[next], rec)
+		cur = next
+		// Keep the record a fixed size: without this the nav log grows an
+		// entry per hop and the measurement drifts upward with b.N.
+		rec.Log = naplet.NewNavigationLog()
+		rec.Log.RecordArrival(names[cur], time.Now())
+	}
+}
+
+func benchHopTCP(b *testing.B) {
+	benchHop(b, transport.NewTCPFabric(), "127.0.0.1:0", "127.0.0.1:0")
+}
+
+// benchHopNetsimWAN hops over the simulated WAN in pure-accounting mode
+// (TimeScale 0: modeled delay is tallied, not slept), so ns/op is the
+// per-hop processing cost under WAN framing rather than 20ms of sleep.
+func benchHopNetsimWAN(b *testing.B) {
+	net := netsim.New(netsim.Config{DefaultLink: netsim.WAN})
+	benchHop(b, net, "sa", "sb")
+}

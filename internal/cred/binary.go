@@ -1,0 +1,75 @@
+package cred
+
+import (
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// Binary codec for credentials, embedded unversioned inside records and
+// landing requests (the container owns the version byte). Layout:
+//
+//	[NapletID] [string codebase] [uvarint n] n×[string role]
+//	[time issuedAt] [time expiresAt] [bytes signature]
+
+// EncodedSize returns the exact binary-encoded size of the credential.
+func (c *Credential) EncodedSize() int {
+	sz := c.NapletID.EncodedSize() + wire.SizeString(c.Codebase) +
+		wire.SizeUvarint(uint64(len(c.Roles)))
+	for _, r := range c.Roles {
+		sz += wire.SizeString(r)
+	}
+	return sz + wire.SizeTime(c.IssuedAt) + wire.SizeTime(c.ExpiresAt) +
+		wire.SizeBytes(c.Signature)
+}
+
+// AppendBinary appends the credential's binary form to dst.
+func (c *Credential) AppendBinary(dst []byte) []byte {
+	dst = c.NapletID.AppendBinary(dst)
+	dst = wire.AppendString(dst, c.Codebase)
+	dst = wire.AppendUvarint(dst, uint64(len(c.Roles)))
+	for _, r := range c.Roles {
+		dst = wire.AppendString(dst, r)
+	}
+	dst = wire.AppendTime(dst, c.IssuedAt)
+	dst = wire.AppendTime(dst, c.ExpiresAt)
+	return wire.AppendBytes(dst, c.Signature)
+}
+
+// DecodeBinary consumes one credential from b and returns the rest. The
+// signature is copied, so the credential does not alias b.
+func DecodeBinary(b []byte) (Credential, []byte, error) {
+	var c Credential
+	var err error
+	if c.NapletID, b, err = id.DecodeBinary(b); err != nil {
+		return Credential{}, nil, err
+	}
+	if c.Codebase, b, err = wire.DecString(b); err != nil {
+		return Credential{}, nil, err
+	}
+	cnt, b, err := wire.DecCount(b, 1)
+	if err != nil {
+		return Credential{}, nil, err
+	}
+	if cnt > 0 {
+		c.Roles = make([]string, cnt)
+		for i := range c.Roles {
+			if c.Roles[i], b, err = wire.DecString(b); err != nil {
+				return Credential{}, nil, err
+			}
+		}
+	}
+	if c.IssuedAt, b, err = wire.DecTime(b); err != nil {
+		return Credential{}, nil, err
+	}
+	if c.ExpiresAt, b, err = wire.DecTime(b); err != nil {
+		return Credential{}, nil, err
+	}
+	sig, b, err := wire.DecBytes(b)
+	if err != nil {
+		return Credential{}, nil, err
+	}
+	if sig != nil {
+		c.Signature = append([]byte(nil), sig...)
+	}
+	return c, b, nil
+}

@@ -1,0 +1,243 @@
+package dock
+
+import (
+	"sort"
+
+	"repro/internal/naplet"
+	"repro/internal/wire"
+)
+
+// Binary codec for version-2 snapshot payloads. The envelope (magic,
+// version, length, CRC) is unchanged; only the payload encoding moved from
+// gob to the hand-rolled wire primitives. Layout:
+//
+//	[string server] [time savedAt]
+//	[uvarint r] r×Resident    ([string id] [bytes record] [string phase]
+//	                           [string dest] [string transferID])
+//	[msgmap held] [msgmap mailboxes]
+//	  where msgmap = [uvarint n] n× (sorted by key)
+//	                 ([string key] [uvarint m] m×[Message])
+//	[uvarint h] h×HomeEntry   ([string id] [string server] [bool arrival]
+//	                           [time at])
+//	[uvarint a] a×[string transferID]
+//	[uvarint d] d×[string msgID]
+//
+// Map keys are emitted sorted so encoding is deterministic (golden-byte
+// fixtures depend on it). Messages reuse the naplet binary message codec.
+
+func sizeMsgMap(m map[string][]naplet.Message) int {
+	sz := wire.SizeUvarint(uint64(len(m)))
+	for k, msgs := range m {
+		sz += wire.SizeString(k) + wire.SizeUvarint(uint64(len(msgs)))
+		for i := range msgs {
+			sz += msgs[i].EncodedSize()
+		}
+	}
+	return sz
+}
+
+func appendMsgMap(dst []byte, m map[string][]naplet.Message) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = wire.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = wire.AppendString(dst, k)
+		msgs := m[k]
+		dst = wire.AppendUvarint(dst, uint64(len(msgs)))
+		for i := range msgs {
+			dst = msgs[i].AppendBinary(dst)
+		}
+	}
+	return dst
+}
+
+func decodeMsgMap(b []byte) (map[string][]naplet.Message, []byte, error) {
+	cnt, b, err := wire.DecCount(b, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cnt == 0 {
+		return nil, b, nil
+	}
+	m := make(map[string][]naplet.Message, cnt)
+	for i := 0; i < cnt; i++ {
+		var k string
+		if k, b, err = wire.DecString(b); err != nil {
+			return nil, nil, err
+		}
+		mcnt, rest, err := wire.DecCount(b, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		msgs := make([]naplet.Message, mcnt)
+		for j := range msgs {
+			if msgs[j], rest, err = naplet.DecodeMessageBinary(rest); err != nil {
+				return nil, nil, err
+			}
+		}
+		m[k] = msgs
+		b = rest
+	}
+	return m, b, nil
+}
+
+func sizeStrings(ss []string) int {
+	sz := wire.SizeUvarint(uint64(len(ss)))
+	for _, s := range ss {
+		sz += wire.SizeString(s)
+	}
+	return sz
+}
+
+func appendStrings(dst []byte, ss []string) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = wire.AppendString(dst, s)
+	}
+	return dst
+}
+
+func decodeStrings(b []byte) ([]string, []byte, error) {
+	cnt, b, err := wire.DecCount(b, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cnt == 0 {
+		return nil, b, nil
+	}
+	ss := make([]string, cnt)
+	for i := range ss {
+		if ss[i], b, err = wire.DecString(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ss, b, nil
+}
+
+// EncodedSize returns the exact binary-encoded payload size of the
+// snapshot.
+func (s *Snapshot) EncodedSize() int {
+	sz := wire.SizeString(s.Server) + wire.SizeTime(s.SavedAt)
+	sz += wire.SizeUvarint(uint64(len(s.Residents)))
+	for i := range s.Residents {
+		r := &s.Residents[i]
+		sz += wire.SizeString(r.ID) + wire.SizeBytes(r.Record) +
+			wire.SizeString(r.Phase) + wire.SizeString(r.Dest) +
+			wire.SizeString(r.TransferID)
+	}
+	sz += sizeMsgMap(s.Held) + sizeMsgMap(s.Mailboxes)
+	sz += wire.SizeUvarint(uint64(len(s.Home)))
+	for i := range s.Home {
+		h := &s.Home[i]
+		sz += wire.SizeString(h.ID) + wire.SizeString(h.Server) +
+			wire.SizeBool + wire.SizeTime(h.At)
+	}
+	return sz + sizeStrings(s.AcceptedTransfers) + sizeStrings(s.DeliveredMsgs)
+}
+
+// AppendBinary appends the snapshot's binary payload form to dst.
+func (s *Snapshot) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendString(dst, s.Server)
+	dst = wire.AppendTime(dst, s.SavedAt)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Residents)))
+	for i := range s.Residents {
+		r := &s.Residents[i]
+		dst = wire.AppendString(dst, r.ID)
+		dst = wire.AppendBytes(dst, r.Record)
+		dst = wire.AppendString(dst, r.Phase)
+		dst = wire.AppendString(dst, r.Dest)
+		dst = wire.AppendString(dst, r.TransferID)
+	}
+	dst = appendMsgMap(dst, s.Held)
+	dst = appendMsgMap(dst, s.Mailboxes)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Home)))
+	for i := range s.Home {
+		h := &s.Home[i]
+		dst = wire.AppendString(dst, h.ID)
+		dst = wire.AppendString(dst, h.Server)
+		dst = wire.AppendBool(dst, h.Arrival)
+		dst = wire.AppendTime(dst, h.At)
+	}
+	dst = appendStrings(dst, s.AcceptedTransfers)
+	return appendStrings(dst, s.DeliveredMsgs)
+}
+
+// DecodeSnapshotBinary parses a version-2 binary snapshot payload. The
+// returned snapshot does not alias b.
+func DecodeSnapshotBinary(b []byte) (*Snapshot, error) {
+	snap := new(Snapshot)
+	var err error
+	if snap.Server, b, err = wire.DecString(b); err != nil {
+		return nil, err
+	}
+	if snap.SavedAt, b, err = wire.DecTime(b); err != nil {
+		return nil, err
+	}
+	rcnt, b, err := wire.DecCount(b, 5)
+	if err != nil {
+		return nil, err
+	}
+	if rcnt > 0 {
+		snap.Residents = make([]Resident, rcnt)
+		for i := range snap.Residents {
+			r := &snap.Residents[i]
+			if r.ID, b, err = wire.DecString(b); err != nil {
+				return nil, err
+			}
+			var rec []byte
+			if rec, b, err = wire.DecBytes(b); err != nil {
+				return nil, err
+			}
+			if rec != nil {
+				r.Record = append([]byte(nil), rec...)
+			}
+			if r.Phase, b, err = wire.DecString(b); err != nil {
+				return nil, err
+			}
+			if r.Dest, b, err = wire.DecString(b); err != nil {
+				return nil, err
+			}
+			if r.TransferID, b, err = wire.DecString(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if snap.Held, b, err = decodeMsgMap(b); err != nil {
+		return nil, err
+	}
+	if snap.Mailboxes, b, err = decodeMsgMap(b); err != nil {
+		return nil, err
+	}
+	hcnt, b, err := wire.DecCount(b, 4)
+	if err != nil {
+		return nil, err
+	}
+	if hcnt > 0 {
+		snap.Home = make([]HomeEntry, hcnt)
+		for i := range snap.Home {
+			h := &snap.Home[i]
+			if h.ID, b, err = wire.DecString(b); err != nil {
+				return nil, err
+			}
+			if h.Server, b, err = wire.DecString(b); err != nil {
+				return nil, err
+			}
+			if h.Arrival, b, err = wire.DecBool(b); err != nil {
+				return nil, err
+			}
+			if h.At, b, err = wire.DecTime(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if snap.AcceptedTransfers, b, err = decodeStrings(b); err != nil {
+		return nil, err
+	}
+	if snap.DeliveredMsgs, _, err = decodeStrings(b); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

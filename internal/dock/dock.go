@@ -3,13 +3,14 @@
 // registrations — so a crashed-and-restarted server picks up exactly where
 // it stopped.
 //
-// The on-disk format wraps the existing internal/wire gob codec in a small
-// self-describing envelope:
+// The on-disk format wraps a versioned payload in a small self-describing
+// envelope:
 //
 //	magic   [8]byte  "NAPDOCK\n"
-//	version uint16   big-endian (currently 1)
+//	version uint16   big-endian (1 = gob payload, 2 = binary payload)
 //	length  uint32   big-endian payload byte count
-//	payload []byte   wire.Marshal(Snapshot)
+//	payload []byte   version 1: wire.Marshal(Snapshot);
+//	                 version 2: Snapshot.AppendBinary (codec.go)
 //	crc     uint32   big-endian IEEE CRC-32 of the payload
 //
 // Writes are atomic: the snapshot lands in a temp file in the same
@@ -34,8 +35,13 @@ import (
 
 // Snapshot format constants.
 const (
-	// Version is the current snapshot format version.
-	Version = 1
+	// VersionGob is the legacy snapshot format: a gob-encoded payload.
+	// Stores still load it, so snapshots written before the binary codec
+	// restore cleanly after an upgrade.
+	VersionGob = 1
+	// Version is the current snapshot format version: a hand-rolled
+	// binary payload (see codec.go).
+	Version = 2
 	// FileName is the live snapshot file inside the store directory.
 	FileName = "dock.snap"
 )
@@ -111,8 +117,9 @@ type Snapshot struct {
 
 // Store persists snapshots under one directory.
 type Store struct {
-	dir string
-	mu  sync.Mutex
+	dir     string
+	mu      sync.Mutex
+	saveVer uint16
 }
 
 // Open prepares a store rooted at dir, creating it if needed.
@@ -123,7 +130,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dock: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, saveVer: Version}, nil
 }
 
 // Dir returns the store's directory.
@@ -132,15 +139,36 @@ func (s *Store) Dir() string { return s.dir }
 // Path returns the live snapshot file path.
 func (s *Store) Path() string { return filepath.Join(s.dir, FileName) }
 
+// SetSaveVersion selects the payload format Save writes: VersionGob or
+// Version. New stores default to Version; the knob exists so recovery
+// tests (and downgrades) can exercise both formats.
+func (s *Store) SetSaveVersion(v uint16) error {
+	if v != VersionGob && v != Version {
+		return fmt.Errorf("dock: unsupported save version %d", v)
+	}
+	s.mu.Lock()
+	s.saveVer = v
+	s.mu.Unlock()
+	return nil
+}
+
 // Save atomically replaces the live snapshot.
 func (s *Store) Save(snap *Snapshot) error {
-	payload, err := wire.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("dock: encode snapshot: %w", err)
+	s.mu.Lock()
+	ver := s.saveVer
+	s.mu.Unlock()
+	var payload []byte
+	if ver == VersionGob {
+		var err error
+		if payload, err = wire.Marshal(snap); err != nil {
+			return fmt.Errorf("dock: encode snapshot: %w", err)
+		}
+	} else {
+		payload = snap.AppendBinary(make([]byte, 0, snap.EncodedSize()))
 	}
 	buf := make([]byte, 0, len(magic)+2+4+len(payload)+4)
 	buf = append(buf, magic[:]...)
-	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, ver)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
@@ -189,7 +217,7 @@ func (s *Store) Load() (*Snapshot, error) {
 	}
 	rest := data[len(magic):]
 	ver := binary.BigEndian.Uint16(rest)
-	if ver != Version {
+	if ver != VersionGob && ver != Version {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	n := binary.BigEndian.Uint32(rest[2:])
@@ -202,9 +230,16 @@ func (s *Store) Load() (*Snapshot, error) {
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return nil, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
 	}
-	var snap Snapshot
-	if err := wire.Unmarshal(payload, &snap); err != nil {
+	if ver == VersionGob {
+		var snap Snapshot
+		if err := wire.Unmarshal(payload, &snap); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return &snap, nil
+	}
+	snap, err := DecodeSnapshotBinary(payload)
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	return &snap, nil
+	return snap, nil
 }

@@ -1,0 +1,88 @@
+package messenger
+
+import (
+	"repro/internal/naplet"
+	"repro/internal/wire"
+)
+
+// Binary codecs for the post-protocol bodies, mirroring the navigator
+// bodies: a leading version byte distinguishes binary payloads from legacy
+// gob ones (a gob struct stream never starts with 0x01), so gob-era senders
+// keep working while steady-state messaging avoids reflection.
+
+// bodyCodecVersion is the leading version byte of binary message bodies.
+const bodyCodecVersion = 1
+
+// isBinaryBody reports whether a payload carries the binary body codec.
+func isBinaryBody(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == bodyCodecVersion
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *PostBody) EncodedSize() int {
+	return 1 + b.Msg.EncodedSize() + wire.SizeUvarint(uint64(b.Hops))
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *PostBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = b.Msg.AppendBinary(dst)
+	return wire.AppendUvarint(dst, uint64(b.Hops))
+}
+
+// Decode parses a post payload, binary or legacy gob.
+func (b *PostBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	msg, rest, err := naplet.DecodeMessageBinary(payload[1:])
+	if err != nil {
+		return err
+	}
+	b.Msg = msg
+	hops, _, err := wire.DecUvarint(rest)
+	if err != nil {
+		return err
+	}
+	b.Hops = int(hops)
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *ConfirmBody) EncodedSize() int {
+	return 1 + 2*wire.SizeBool + wire.SizeString(b.Server) +
+		wire.SizeUvarint(uint64(b.Hops))
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *ConfirmBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.Delivered)
+	dst = wire.AppendBool(dst, b.Held)
+	dst = wire.AppendString(dst, b.Server)
+	return wire.AppendUvarint(dst, uint64(b.Hops))
+}
+
+// Decode parses a confirm payload, binary or legacy gob.
+func (b *ConfirmBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Delivered, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Held, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Server, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	hops, _, err := wire.DecUvarint(rest)
+	if err != nil {
+		return err
+	}
+	b.Hops = int(hops)
+	return nil
+}

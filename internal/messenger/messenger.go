@@ -430,16 +430,13 @@ func (m *Messenger) send(ctx context.Context, server string, body PostBody) (Con
 	if server == m.server {
 		return m.deliverOrForward(ctx, body)
 	}
-	f, err := wire.NewFrame(wire.KindPost, "", "", &body)
-	if err != nil {
-		return ConfirmBody{}, err
-	}
+	f := wire.BinaryFrame(wire.KindPost, "", "", &body)
 	reply, err := m.node.Call(ctx, server, f)
 	if err != nil {
 		return ConfirmBody{}, err
 	}
 	var confirm ConfirmBody
-	if err := reply.Body(&confirm); err != nil {
+	if err := confirm.Decode(reply.Payload); err != nil {
 		return ConfirmBody{}, err
 	}
 	return confirm, nil
@@ -450,7 +447,7 @@ func (m *Messenger) send(ctx context.Context, server string, body PostBody) (Con
 // HandlePost is the server's KindPost frame handler.
 func (m *Messenger) HandlePost(from string, f wire.Frame) (wire.Frame, error) {
 	var body PostBody
-	if err := f.Body(&body); err != nil {
+	if err := body.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ForwardTimeout)
@@ -459,7 +456,7 @@ func (m *Messenger) HandlePost(from string, f wire.Frame) (wire.Frame, error) {
 	if err != nil {
 		return wire.Frame{}, err
 	}
-	return wire.NewFrame(wire.KindPostConfirm, f.To, f.From, &confirm)
+	return wire.BinaryFrame(wire.KindPostConfirm, f.To, f.From, &confirm), nil
 }
 
 // deliverOrForward applies the paper's three delivery cases at this server.

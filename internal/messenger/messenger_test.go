@@ -390,7 +390,7 @@ func TestDuplicatePostReconfirmedOnce(t *testing.T) {
 			t.Fatalf("delivery %d: %v", i, err)
 		}
 		var confirm ConfirmBody
-		if err := reply.Body(&confirm); err != nil {
+		if err := confirm.Decode(reply.Payload); err != nil {
 			t.Fatal(err)
 		}
 		if !confirm.Delivered {
@@ -436,7 +436,7 @@ func TestHeldDuplicateAbsorbed(t *testing.T) {
 			t.Fatalf("hold %d: %v", i, err)
 		}
 		var confirm ConfirmBody
-		if err := reply.Body(&confirm); err != nil {
+		if err := confirm.Decode(reply.Payload); err != nil {
 			t.Fatal(err)
 		}
 		if !confirm.Held {

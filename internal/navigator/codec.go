@@ -1,0 +1,272 @@
+package navigator
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/cred"
+	"repro/internal/id"
+	"repro/internal/naplet"
+	"repro/internal/wire"
+)
+
+// Binary codecs for the navigation-protocol bodies. Every body encodes
+// with a leading version byte; decoders sniff it and fall back to gob for
+// frames from senders predating the codec (a gob stream's first byte is a
+// segment length that is never 0x01 for these struct bodies). That keeps
+// mixed-version deployments and gob-era dock snapshots working while the
+// hot path sheds reflection.
+
+// bodyCodecVersion is the leading version byte of binary protocol bodies.
+const bodyCodecVersion = 1
+
+// isBinaryBody reports whether a payload carries the binary body codec.
+func isBinaryBody(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == bodyCodecVersion
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *LandingRequestBody) EncodedSize() int {
+	return 1 + b.NapletID.EncodedSize() + b.Credential.EncodedSize() +
+		wire.SizeString(b.Codebase) + wire.SizeUvarint(uint64(b.StateSize)) +
+		wire.SizeString(b.CodeDigest)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *LandingRequestBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = b.NapletID.AppendBinary(dst)
+	dst = b.Credential.AppendBinary(dst)
+	dst = wire.AppendString(dst, b.Codebase)
+	dst = wire.AppendUvarint(dst, uint64(b.StateSize))
+	return wire.AppendString(dst, b.CodeDigest)
+}
+
+// Decode parses a landing request payload, binary or legacy gob.
+func (b *LandingRequestBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.NapletID, rest, err = id.DecodeBinary(rest); err != nil {
+		return err
+	}
+	if b.Credential, rest, err = cred.DecodeBinary(rest); err != nil {
+		return err
+	}
+	if b.Codebase, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	size, rest, err := wire.DecUvarint(rest)
+	if err != nil {
+		return err
+	}
+	b.StateSize = int(size)
+	if b.CodeDigest, _, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *LandingReplyBody) EncodedSize() int {
+	return 1 + 2*wire.SizeBool + wire.SizeString(b.Reason)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *LandingReplyBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.Granted)
+	dst = wire.AppendBool(dst, b.NeedCode)
+	return wire.AppendString(dst, b.Reason)
+}
+
+// Decode parses a landing reply payload, binary or legacy gob.
+func (b *LandingReplyBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Granted, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.NeedCode, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Reason, _, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *TransferBody) EncodedSize() int {
+	return 1 + wire.SizeBytes(b.Record) + wire.SizeBytes(b.Code) +
+		wire.SizeString(b.TransferID)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *TransferBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBytes(dst, b.Record)
+	dst = wire.AppendBytes(dst, b.Code)
+	return wire.AppendString(dst, b.TransferID)
+}
+
+// Decode parses a transfer payload, binary or legacy gob. Record and Code
+// alias the payload in the binary path; HandleTransfer consumes both
+// before its handler returns, per the transport Handler contract.
+func (b *TransferBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Record, rest, err = wire.DecBytes(rest); err != nil {
+		return err
+	}
+	if b.Code, rest, err = wire.DecBytes(rest); err != nil {
+		return err
+	}
+	if b.TransferID, _, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *TransferAckBody) EncodedSize() int {
+	return 1 + wire.SizeBool + wire.SizeString(b.Reason)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *TransferAckBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.Accepted)
+	return wire.AppendString(dst, b.Reason)
+}
+
+// Decode parses a transfer ack payload, binary or legacy gob.
+func (b *TransferAckBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Accepted, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Reason, _, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *CodeFetchBody) EncodedSize() int {
+	return 1 + wire.SizeString(b.Codebase)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *CodeFetchBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	return wire.AppendString(dst, b.Codebase)
+}
+
+// Decode parses a code fetch payload, binary or legacy gob.
+func (b *CodeFetchBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	var err error
+	b.Codebase, _, err = wire.DecString(payload[1:])
+	return err
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *CodeBundleBody) EncodedSize() int {
+	return 1 + wire.SizeBytes(b.Data)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *CodeBundleBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	return wire.AppendBytes(dst, b.Data)
+}
+
+// Decode parses a code bundle payload, binary or legacy gob. Data aliases
+// the payload in the binary path.
+func (b *CodeBundleBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	var err error
+	b.Data, _, err = wire.DecBytes(payload[1:])
+	return err
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *HomeEventBody) EncodedSize() int {
+	return 1 + b.NapletID.EncodedSize() + wire.SizeString(b.Server) +
+		wire.SizeBool + wire.SizeTime(b.At)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *HomeEventBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = b.NapletID.AppendBinary(dst)
+	dst = wire.AppendString(dst, b.Server)
+	dst = wire.AppendBool(dst, b.Arrival)
+	return wire.AppendTime(dst, b.At)
+}
+
+// Decode parses a home event payload, binary or legacy gob.
+func (b *HomeEventBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.NapletID, rest, err = id.DecodeBinary(rest); err != nil {
+		return err
+	}
+	if b.Server, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.Arrival, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.At, _, err = wire.DecTime(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bundleDigest returns the content digest of a code bundle: the
+// bundle-cache key (hex SHA-256).
+func bundleDigest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// EncodeRecord serializes a naplet record for transfer using the binary
+// record codec (magic 'N' 'R' + version byte).
+func EncodeRecord(rec *naplet.Record) ([]byte, error) {
+	return rec.AppendBinary(make([]byte, 0, rec.EncodedSize())), nil
+}
+
+// DecodeRecord reverses EncodeRecord. Records without the binary magic
+// fall back to the legacy gob decoding, so records persisted in version-1
+// dock snapshots (or sent by gob-era origins) still land.
+func DecodeRecord(data []byte) (*naplet.Record, error) {
+	if naplet.IsBinaryRecord(data) {
+		return naplet.DecodeRecordBinary(data)
+	}
+	rec := new(naplet.Record)
+	if err := wire.Unmarshal(data, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -23,10 +23,8 @@
 package navigator
 
 import (
-	"bytes"
 	"context"
 	cryptorand "crypto/rand"
-	"encoding/gob"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -74,6 +72,12 @@ type LandingRequestBody struct {
 	Credential cred.Credential
 	Codebase   string
 	StateSize  int
+	// CodeDigest is the content digest (hex SHA-256) of the codebase's
+	// bundle, when the origin knows it. A destination holding any codebase
+	// with the same digest serves the landing from its content-addressed
+	// cache and never asks for a refetch. Empty from origins predating the
+	// field.
+	CodeDigest string
 }
 
 // LandingReplyBody grants or refuses landing.
@@ -334,24 +338,6 @@ func (n *Navigator) Stats() Stats {
 	}
 }
 
-// EncodeRecord serializes a naplet record for transfer.
-func EncodeRecord(rec *naplet.Record) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
-		return nil, fmt.Errorf("navigator: encode record: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-// DecodeRecord reverses EncodeRecord.
-func DecodeRecord(data []byte) (*naplet.Record, error) {
-	rec := new(naplet.Record)
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(rec); err != nil {
-		return nil, fmt.Errorf("navigator: decode record: %w", err)
-	}
-	return rec, nil
-}
-
 // ---- Origin side ----
 
 // Dispatch migrates a resident naplet to dest, following the paper's
@@ -422,7 +408,9 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 	bd.Serialize = n.clock().Sub(serStart)
 	bd.RecordBytes = len(recordBytes)
 
-	// 2. LANDING permission at the destination.
+	// 2. LANDING permission at the destination. The request carries the
+	// bundle's content digest so a destination that already holds the
+	// bytes (under any codebase name) can skip the code transfer.
 	negStart := n.clock()
 	req := LandingRequestBody{
 		NapletID:   rec.ID,
@@ -430,10 +418,10 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 		Codebase:   rec.Codebase,
 		StateSize:  len(recordBytes),
 	}
-	f, err := wire.NewFrame(wire.KindLandingRequest, "", "", &req)
-	if err != nil {
-		return bd, err
+	if n.reg != nil {
+		req.CodeDigest, _ = n.reg.BundleDigest(rec.Codebase)
 	}
+	f := wire.BinaryFrame(wire.KindLandingRequest, "", "", &req)
 	cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
 	reply, err := n.node.Call(cctx, dest, f)
 	cancel()
@@ -441,7 +429,7 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 		return bd, fmt.Errorf("navigator: landing request to %s: %w", dest, err)
 	}
 	var landing LandingReplyBody
-	if err := reply.Body(&landing); err != nil {
+	if err := landing.Decode(reply.Payload); err != nil {
 		return bd, err
 	}
 	bd.Negotiation = n.clock().Sub(negStart)
@@ -462,10 +450,7 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 		n.met.codePushed.Inc()
 	}
 	trStart := n.clock()
-	tf, err := wire.NewFrame(wire.KindNapletTransfer, "", "", &transfer)
-	if err != nil {
-		return bd, err
-	}
+	tf := wire.BinaryFrame(wire.KindNapletTransfer, "", "", &transfer)
 	// Register the DEPART event before the transfer so the destination's
 	// ARRIVAL registration is always the newer record: this preserves the
 	// paper's invariant that the directory holds current information
@@ -478,7 +463,7 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 	cancel()
 	if err == nil {
 		var ack TransferAckBody
-		if derr := ackReply.Body(&ack); derr != nil {
+		if derr := ack.Decode(ackReply.Payload); derr != nil {
 			err = derr
 		} else if !ack.Accepted {
 			err = fmt.Errorf("%w by %s: %s", ErrRejected, dest, ack.Reason)
@@ -522,12 +507,11 @@ func (n *Navigator) RegisterEvent(ctx context.Context, rec *naplet.Record, ev di
 			Arrival:  ev == directory.Arrival,
 			At:       at,
 		}
-		if f, err := wire.NewFrame(wire.KindHomeEvent, "", "", &body); err == nil {
-			cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
-			_, _ = n.node.Call(cctx, rec.Home, f)
-			cancel()
-			n.met.homeReports.Inc()
-		}
+		f := wire.BinaryFrame(wire.KindHomeEvent, "", "", &body)
+		cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+		_, _ = n.node.Call(cctx, rec.Home, f)
+		cancel()
+		n.met.homeReports.Inc()
 	}
 	if n.cfg.ReportHome && rec.Home == n.server && n.mgr != nil {
 		n.mgr.HomeRecord(rec.ID, server, ev == directory.Arrival, at)
@@ -539,7 +523,7 @@ func (n *Navigator) RegisterEvent(ctx context.Context, rec *naplet.Record, ev di
 // HandleLandingRequest answers a KindLandingRequest frame.
 func (n *Navigator) HandleLandingRequest(from string, f wire.Frame) (wire.Frame, error) {
 	var req LandingRequestBody
-	if err := f.Body(&req); err != nil {
+	if err := req.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
 	reply := LandingReplyBody{}
@@ -547,19 +531,22 @@ func (n *Navigator) HandleLandingRequest(from string, f wire.Frame) (wire.Frame,
 		if err := n.sec.CheckLanding(&req.Credential); err != nil {
 			n.met.refused.Inc()
 			reply.Reason = err.Error()
-			return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
+			return wire.BinaryFrame(wire.KindLandingReply, f.To, f.From, &reply), nil
 		}
 	}
 	if n.admit != nil {
 		if err := n.admit(req); err != nil {
 			n.met.refused.Inc()
 			reply.Reason = err.Error()
-			return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
+			return wire.BinaryFrame(wire.KindLandingReply, f.To, f.From, &reply), nil
 		}
 	}
 	reply.Granted = true
-	reply.NeedCode = !n.cache.Has(req.Codebase)
-	return wire.NewFrame(wire.KindLandingReply, f.To, f.From, &reply)
+	// The content-addressed alias: an unknown codebase name whose bundle
+	// digest is already cached (fetched under another name, or before an
+	// eviction-by-name) lands warm without a refetch.
+	reply.NeedCode = !n.cache.Has(req.Codebase) && !n.cache.Alias(req.Codebase, req.CodeDigest)
+	return wire.BinaryFrame(wire.KindLandingReply, f.To, f.From, &reply), nil
 }
 
 // HandleTransfer answers a KindNapletTransfer frame: it decodes the
@@ -567,12 +554,12 @@ func (n *Navigator) HandleLandingRequest(from string, f wire.Frame) (wire.Frame,
 // before execution), and hands the naplet to the visit engine.
 func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error) {
 	var transfer TransferBody
-	if err := f.Body(&transfer); err != nil {
+	if err := transfer.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
 	rec, err := DecodeRecord(transfer.Record)
 	if err != nil {
-		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+		return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()}), nil
 	}
 	// Deduplicate replayed transfers: if the acknowledgement of a landing
 	// was lost (or the frame itself was duplicated in flight), the same
@@ -582,28 +569,30 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	// absorbed rather than double-landing it.
 	if transfer.TransferID != "" && n.accepted.Seen(transfer.TransferID) {
 		n.met.dupTransfer.Inc()
-		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true})
+		return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true}), nil
 	}
 	// Re-verify the credential on the actual record: the landing request
 	// is not trusted to match the transfer.
 	if n.sec != nil {
 		if err := n.sec.CheckLanding(&rec.Credential); err != nil {
 			n.met.refused.Inc()
-			return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+			return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()}), nil
 		}
 	}
 	if !rec.Credential.NapletID.Equal(rec.ID) {
 		n.met.refused.Inc()
-		return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: "credential does not certify this naplet"})
+		return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: "credential does not certify this naplet"}), nil
 	}
 
-	// Lazy code loading.
+	// Lazy code loading. Received bundles are cached under their content
+	// digest too (self-certified by hashing the received bytes), so later
+	// landings of any codebase with the same content skip the transfer.
 	if len(transfer.Code) > 0 {
-		n.cache.Loaded(rec.Codebase, len(transfer.Code))
+		n.cache.LoadedDigest(rec.Codebase, bundleDigest(transfer.Code), len(transfer.Code))
 	} else if !n.cache.Has(rec.Codebase) {
 		if n.cfg.CodeDelivery == Pull {
 			if err := n.pullCode(rec); err != nil {
-				return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+				return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()}), nil
 			}
 		} else {
 			// Push mode but the origin sent no code (cache raced or origin
@@ -611,9 +600,9 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 			// local load.
 			bundle, err := n.reg.Bundle(rec.Codebase)
 			if err != nil {
-				return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()})
+				return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()}), nil
 			}
-			n.cache.Loaded(rec.Codebase, len(bundle))
+			n.cache.LoadedDigest(rec.Codebase, bundleDigest(bundle), len(bundle))
 		}
 	}
 
@@ -640,16 +629,13 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	if n.onLand != nil {
 		go n.onLand(rec, from)
 	}
-	return wire.NewFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true})
+	return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true}), nil
 }
 
 // pullCode fetches the bundle from the naplet's home server.
 func (n *Navigator) pullCode(rec *naplet.Record) error {
 	body := CodeFetchBody{Codebase: rec.Codebase}
-	f, err := wire.NewFrame(wire.KindCodeFetch, "", "", &body)
-	if err != nil {
-		return err
-	}
+	f := wire.BinaryFrame(wire.KindCodeFetch, "", "", &body)
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
 	defer cancel()
 	reply, err := n.node.Call(ctx, rec.Home, f)
@@ -657,10 +643,10 @@ func (n *Navigator) pullCode(rec *naplet.Record) error {
 		return fmt.Errorf("navigator: code fetch from %s: %w", rec.Home, err)
 	}
 	var bundle CodeBundleBody
-	if err := reply.Body(&bundle); err != nil {
+	if err := bundle.Decode(reply.Payload); err != nil {
 		return err
 	}
-	n.cache.Loaded(rec.Codebase, len(bundle.Data))
+	n.cache.LoadedDigest(rec.Codebase, bundleDigest(bundle.Data), len(bundle.Data))
 	n.met.codePulled.Inc()
 	return nil
 }
@@ -668,7 +654,7 @@ func (n *Navigator) pullCode(rec *naplet.Record) error {
 // HandleCodeFetch serves a code bundle to a server with a cold cache.
 func (n *Navigator) HandleCodeFetch(from string, f wire.Frame) (wire.Frame, error) {
 	var req CodeFetchBody
-	if err := f.Body(&req); err != nil {
+	if err := req.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
 	data, err := n.reg.Bundle(req.Codebase)
@@ -676,14 +662,14 @@ func (n *Navigator) HandleCodeFetch(from string, f wire.Frame) (wire.Frame, erro
 		return wire.Frame{}, err
 	}
 	n.met.codeServed.Inc()
-	return wire.NewFrame(wire.KindCodeBundle, f.To, f.From, &CodeBundleBody{Data: data})
+	return wire.BinaryFrame(wire.KindCodeBundle, f.To, f.From, &CodeBundleBody{Data: data}), nil
 }
 
 // HandleHomeEvent records a remote arrival/departure report for a naplet
 // homed at this server.
 func (n *Navigator) HandleHomeEvent(from string, f wire.Frame) (wire.Frame, error) {
 	var body HomeEventBody
-	if err := f.Body(&body); err != nil {
+	if err := body.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
 	if n.mgr != nil {

@@ -367,3 +367,41 @@ func TestNewTransferIDDistinctAcrossBoots(t *testing.T) {
 		}
 	}
 }
+
+// TestDispatchDigestAliasSkipsCode proves the content-addressed bundle
+// cache at the wire level: a destination that already holds a bundle with
+// the dispatched codebase's digest — cached under a different codebase
+// name — answers the landing negotiation with NeedCode=false, so the warm
+// server never refetches identical code.
+func TestDispatchDigestAliasSkipsCode(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	reg := newRegistry(t)
+	a := attach(t, net, "a", reg, nil, Config{CodeDelivery: Push})
+	b := attach(t, net, "b", reg, nil, Config{CodeDelivery: Push})
+
+	dig, err := reg.BundleDigest("test.Agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm b by content only: the bundle arrived earlier under another
+	// codebase name.
+	b.cache.LoadedDigest("test.AgentV1Alias", dig, 2048)
+
+	rec := record(t, nil, "a")
+	a.mgr.RecordArrival(rec.ID, rec.Codebase, "origin", time.Now())
+	bd, err := a.nav.Dispatch(context.Background(), rec, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.CodeBytes != 0 {
+		t.Fatalf("digest-warm destination must not be pushed code: %+v", bd)
+	}
+	<-b.landed
+	s := b.cache.Stats()
+	if s.AliasHits != 1 {
+		t.Fatalf("cache stats: %+v", s)
+	}
+	if s.BytesFetched != 2048 {
+		t.Fatalf("no new bytes may be fetched: %+v", s)
+	}
+}

@@ -17,6 +17,7 @@ package registry
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -72,11 +73,15 @@ var (
 type Registry struct {
 	mu        sync.RWMutex
 	codebases map[string]*Codebase
+	digests   map[string]string
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{codebases: make(map[string]*Codebase)}
+	return &Registry{
+		codebases: make(map[string]*Codebase),
+		digests:   make(map[string]string),
+	}
 }
 
 // Register adds a codebase. The name must be unique and the factory
@@ -197,24 +202,60 @@ func (r *Registry) Bundle(name string) ([]byte, error) {
 	return data, nil
 }
 
+// BundleDigest returns the content digest (hex SHA-256) of the codebase's
+// bundle, memoized so origin servers compute it once per codebase rather
+// than re-hashing 32 KiB on every dispatch. The digest is the
+// content-addressed bundle-cache key: a destination that already holds a
+// bundle with this digest — under any codebase name — need not refetch.
+func (r *Registry) BundleDigest(name string) (string, error) {
+	r.mu.RLock()
+	d, ok := r.digests[name]
+	r.mu.RUnlock()
+	if ok {
+		return d, nil
+	}
+	data, err := r.Bundle(name)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	d = hex.EncodeToString(sum[:])
+	r.mu.Lock()
+	r.digests[name] = d
+	r.mu.Unlock()
+	return d, nil
+}
+
 // CacheStats counts lazy-loading activity at one server.
 type CacheStats struct {
 	Hits         int64
 	Misses       int64
 	BytesFetched int64
+	// AliasHits counts landings that skipped a bundle transfer because a
+	// bundle with the same content digest was already cached, even though
+	// the codebase name itself was cold.
+	AliasHits int64
 }
 
 // Cache is one server's loaded-codebase set: the lazy code loading state.
-// It is safe for concurrent use.
+// Entries are tracked both by codebase name and by content digest, so a
+// bundle already present under one name satisfies a landing under another
+// (content-addressed caching). It is safe for concurrent use.
 type Cache struct {
-	mu     sync.Mutex
-	loaded map[string]bool
-	stats  CacheStats
+	mu         sync.Mutex
+	loaded     map[string]bool
+	byDigest   map[string]bool
+	nameDigest map[string]string
+	stats      CacheStats
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{loaded: make(map[string]bool)}
+	return &Cache{
+		loaded:     make(map[string]bool),
+		byDigest:   make(map[string]bool),
+		nameDigest: make(map[string]string),
+	}
 }
 
 // Has reports whether the codebase is already loaded at this server and
@@ -233,20 +274,66 @@ func (c *Cache) Has(name string) bool {
 // Loaded marks the codebase loaded after a successful bundle transfer of
 // the given size.
 func (c *Cache) Loaded(name string, bundleBytes int) {
+	c.LoadedDigest(name, "", bundleBytes)
+}
+
+// LoadedDigest marks the codebase loaded, recording the content digest of
+// its bundle so future landings under other names can match by content. An
+// empty digest marks the name loaded without content addressing.
+func (c *Cache) LoadedDigest(name, digest string, bundleBytes int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.loaded[name] {
 		c.loaded[name] = true
 		c.stats.BytesFetched += int64(bundleBytes)
 	}
+	if digest != "" {
+		c.byDigest[digest] = true
+		c.nameDigest[name] = digest
+	}
+}
+
+// Alias reports whether a bundle with the given content digest is already
+// cached; if so, it marks name loaded without a transfer and counts an
+// alias hit. Unknown or empty digests return false.
+func (c *Cache) Alias(name, digest string) bool {
+	if digest == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.byDigest[digest] {
+		return false
+	}
+	if !c.loaded[name] {
+		c.loaded[name] = true
+		c.nameDigest[name] = digest
+		c.stats.AliasHits++
+	}
+	return true
 }
 
 // Evict removes a codebase from the cache (failure injection and cold-start
-// experiments).
+// experiments). The content digest is dropped too, unless another loaded
+// name still refers to the same bundle.
 func (c *Cache) Evict(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.loaded, name)
+	d := c.nameDigest[name]
+	delete(c.nameDigest, name)
+	if d != "" {
+		shared := false
+		for _, other := range c.nameDigest {
+			if other == d {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			delete(c.byDigest, d)
+		}
+	}
 }
 
 // Stats returns a copy of the counters.

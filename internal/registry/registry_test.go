@@ -171,3 +171,70 @@ func TestCacheLazyLoading(t *testing.T) {
 		t.Fatal("evicted codebase must miss")
 	}
 }
+
+func TestBundleDigestMemoizedAndContentBased(t *testing.T) {
+	r := New()
+	r.MustRegister(testCodebase("cb.one"))
+	r.MustRegister(testCodebase("cb.two"))
+
+	d1, err := r.BundleDigest("cb.one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != 64 {
+		t.Fatalf("digest %q is not hex SHA-256", d1)
+	}
+	again, err := r.BundleDigest("cb.one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != d1 {
+		t.Fatal("digest not stable")
+	}
+	d2, err := r.BundleDigest("cb.two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == d1 {
+		t.Fatal("different bundles share a digest")
+	}
+	if _, err := r.BundleDigest("cb.unknown"); err == nil {
+		t.Fatal("unknown codebase must error")
+	}
+}
+
+func TestCacheDigestAlias(t *testing.T) {
+	c := NewCache()
+	if c.Alias("a", "") {
+		t.Fatal("empty digest must not alias")
+	}
+	if c.Alias("a", "deadbeef") {
+		t.Fatal("unknown digest must not alias")
+	}
+	c.LoadedDigest("a", "deadbeef", 500)
+	if !c.Alias("b", "deadbeef") {
+		t.Fatal("known digest must alias a cold name")
+	}
+	if !c.Has("b") {
+		t.Fatal("aliased name must be loaded")
+	}
+	s := c.Stats()
+	if s.AliasHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BytesFetched != 500 {
+		t.Fatalf("alias must not charge a fetch: %+v", s)
+	}
+
+	// Evicting one name keeps the digest while another name still maps to
+	// it; evicting the last drops it.
+	c.Evict("a")
+	if !c.Alias("c", "deadbeef") {
+		t.Fatal("digest must survive while name b holds it")
+	}
+	c.Evict("b")
+	c.Evict("c")
+	if c.Alias("d", "deadbeef") {
+		t.Fatal("digest must be gone after the last holder is evicted")
+	}
+}

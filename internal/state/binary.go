@@ -1,0 +1,96 @@
+package state
+
+import (
+	"repro/internal/wire"
+)
+
+// Binary codec for the state container. The container layout is
+// hand-rolled; the leaf Payload of each entry remains the gob encoding of
+// the stored value — that is where arbitrary application types need
+// serializing, the same flexibility/efficiency split the wire package
+// makes between frame headers and payloads. Layout:
+//
+//	[uvarint n] then n× (sorted by key):
+//	  [string key] [uvarint mode] [uvarint s] s×[string server] [bytes payload]
+//
+// Keys are emitted in sorted order so the encoding is deterministic, which
+// the golden-byte and encode→decode→encode tests rely on.
+
+// EncodedSize returns the exact binary-encoded size of the container.
+func (s *State) EncodedSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sz := wire.SizeUvarint(uint64(len(s.entries)))
+	for k, e := range s.entries {
+		sz += wire.SizeString(k) + wire.SizeUvarint(uint64(e.Mode)) +
+			wire.SizeUvarint(uint64(len(e.Servers)))
+		for _, sv := range e.Servers {
+			sz += wire.SizeString(sv)
+		}
+		sz += wire.SizeBytes(e.Payload)
+	}
+	return sz
+}
+
+// AppendBinary appends the container's binary form to dst.
+func (s *State) AppendBinary(dst []byte) []byte {
+	keys := s.Keys()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dst = wire.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		e := s.entries[k]
+		dst = wire.AppendString(dst, k)
+		dst = wire.AppendUvarint(dst, uint64(e.Mode))
+		dst = wire.AppendUvarint(dst, uint64(len(e.Servers)))
+		for _, sv := range e.Servers {
+			dst = wire.AppendString(dst, sv)
+		}
+		dst = wire.AppendBytes(dst, e.Payload)
+	}
+	return dst
+}
+
+// DecodeBinary consumes one container from b and returns the rest. Entry
+// payloads are copied, so the container does not alias b.
+func DecodeBinary(b []byte) (*State, []byte, error) {
+	cnt, b, err := wire.DecCount(b, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := New()
+	for i := 0; i < cnt; i++ {
+		var e entry
+		var k string
+		if k, b, err = wire.DecString(b); err != nil {
+			return nil, nil, err
+		}
+		mode, rest, err := wire.DecUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.Mode = Mode(mode)
+		scnt, rest, err := wire.DecCount(rest, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		if scnt > 0 {
+			e.Servers = make([]string, scnt)
+			for j := range e.Servers {
+				if e.Servers[j], rest, err = wire.DecString(rest); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		payload, rest, err := wire.DecBytes(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if payload != nil {
+			e.Payload = append([]byte(nil), payload...)
+		}
+		s.entries[k] = e
+		b = rest
+	}
+	return s, b, nil
+}

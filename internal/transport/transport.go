@@ -63,8 +63,11 @@ var (
 )
 
 // TCPFabric implements Fabric over real TCP sockets. Addresses are
-// host:port strings. Each Call opens a connection from a small per-peer
-// pool, writes the request frame, and reads the reply frame.
+// host:port strings. Calls to the same peer share one multiplexed
+// connection: requests are written back-to-back tagged with sequence
+// numbers, a single reader goroutine correlates replies by Seq, and the
+// server handles pipelined requests concurrently — so N in-flight calls
+// cost one connection and no per-call handshake.
 type TCPFabric struct {
 	mu    sync.Mutex
 	nodes map[string]*tcpNode
@@ -99,7 +102,7 @@ func (f *TCPFabric) Attach(addr string, h Handler) (Node, error) {
 		addr:    ln.Addr().String(),
 		ln:      ln,
 		handler: h,
-		pools:   make(map[string][]net.Conn),
+		muxes:   make(map[string]*muxConn),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	f.mu.Lock()
@@ -114,8 +117,10 @@ func (f *TCPFabric) Attach(addr string, h Handler) (Node, error) {
 	return n, nil
 }
 
-// maxIdleConnsPerPeer bounds the connection pool kept per remote peer.
-const maxIdleConnsPerPeer = 4
+// maxPipelinedPerConn bounds the requests a server handles concurrently on
+// one inbound connection; further frames queue in the socket until a slot
+// frees (natural backpressure).
+const maxPipelinedPerConn = 64
 
 type tcpNode struct {
 	fabric  *TCPFabric
@@ -125,8 +130,8 @@ type tcpNode struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
-	poolMu sync.Mutex
-	pools  map[string][]net.Conn
+	muxMu sync.Mutex
+	muxes map[string]*muxConn
 
 	inboundMu sync.Mutex
 	inbound   map[net.Conn]struct{}
@@ -134,49 +139,172 @@ type tcpNode struct {
 	seq atomic.Uint64
 }
 
-// getConn pops an idle pooled connection to the peer or dials a fresh one.
-// reused reports whether the connection came from the pool (a stale pooled
-// connection justifies one retry).
-func (n *tcpNode) getConn(ctx context.Context, to string) (conn net.Conn, reused bool, err error) {
-	n.poolMu.Lock()
-	if idle := n.pools[to]; len(idle) > 0 {
-		conn = idle[len(idle)-1]
-		n.pools[to] = idle[:len(idle)-1]
-		n.poolMu.Unlock()
-		return conn, true, nil
+// callResult is one correlated reply (or the connection failure that ended
+// the exchange).
+type callResult struct {
+	frame wire.Frame
+	err   error
+}
+
+// muxConn is one shared, multiplexed connection to a peer. Many Calls
+// write frames through it concurrently (serialized by writeMu, correlated
+// by Seq); a single reader goroutine fans replies back out to the pending
+// callers. Any read or write error fails the whole connection: every
+// pending call errors and the next Call dials afresh.
+type muxConn struct {
+	node *tcpNode
+	to   string
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	closed  bool
+	err     error
+}
+
+// isClosed reports whether the mux has failed.
+func (mc *muxConn) isClosed() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.closed
+}
+
+// getMux returns the live shared connection to the peer, dialing one if
+// needed. reused reports whether the mux pre-existed this call (a stale
+// pre-existing connection justifies one retry).
+func (n *tcpNode) getMux(ctx context.Context, to string) (*muxConn, bool, error) {
+	n.muxMu.Lock()
+	if mc := n.muxes[to]; mc != nil && !mc.isClosed() {
+		n.muxMu.Unlock()
+		return mc, true, nil
 	}
-	n.poolMu.Unlock()
+	n.muxMu.Unlock()
+
 	var d net.Dialer
-	conn, err = d.DialContext(ctx, "tcp", to)
+	conn, err := d.DialContext(ctx, "tcp", to)
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnknownPeer, to, err)
 	}
-	return conn, false, nil
+
+	mc := &muxConn{
+		node:    n,
+		to:      to,
+		conn:    conn,
+		pending: make(map[uint64]chan callResult),
+	}
+	n.muxMu.Lock()
+	if cur := n.muxes[to]; cur != nil && !cur.isClosed() {
+		// Lost a dial race; use the winner.
+		n.muxMu.Unlock()
+		conn.Close()
+		return cur, true, nil
+	}
+	n.muxes[to] = mc
+	n.muxMu.Unlock()
+	go mc.readLoop()
+	return mc, false, nil
 }
 
-// putConn returns a healthy connection to the pool, or closes it when the
-// pool is full or the node is closed.
-func (n *tcpNode) putConn(to string, conn net.Conn) {
-	conn.SetDeadline(time.Time{})
-	n.poolMu.Lock()
-	defer n.poolMu.Unlock()
-	if n.closed.Load() || len(n.pools[to]) >= maxIdleConnsPerPeer {
-		conn.Close()
+// readLoop is the mux's single reader: it correlates every inbound reply
+// to its pending caller by sequence number.
+func (mc *muxConn) readLoop() {
+	for {
+		reply, err := wire.ReadFrame(mc.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("transport: %s closed connection", mc.to)
+			} else {
+				err = fmt.Errorf("transport: read reply from %s: %w", mc.to, err)
+			}
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		ch := mc.pending[reply.Seq]
+		delete(mc.pending, reply.Seq)
+		mc.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{frame: reply}
+		}
+		// Replies nobody waits for (caller timed out) are dropped; the
+		// connection stays healthy for the other in-flight calls.
+	}
+}
+
+// fail closes the mux: the connection is unregistered, closed, and every
+// pending call receives err.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.closed {
+		mc.mu.Unlock()
 		return
 	}
-	n.pools[to] = append(n.pools[to], conn)
+	mc.closed = true
+	mc.err = err
+	pending := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+
+	mc.node.muxMu.Lock()
+	if mc.node.muxes[mc.to] == mc {
+		delete(mc.node.muxes, mc.to)
+	}
+	mc.node.muxMu.Unlock()
+	mc.conn.Close()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
 }
 
-// drainPools closes every idle pooled connection.
-func (n *tcpNode) drainPools() {
-	n.poolMu.Lock()
-	defer n.poolMu.Unlock()
-	for _, idle := range n.pools {
-		for _, c := range idle {
-			c.Close()
-		}
+// roundTrip sends one frame on the mux and waits for its correlated reply.
+func (mc *muxConn) roundTrip(ctx context.Context, f wire.Frame) (wire.Frame, error) {
+	ch := make(chan callResult, 1)
+	mc.mu.Lock()
+	if mc.closed {
+		err := mc.err
+		mc.mu.Unlock()
+		return wire.Frame{}, err
 	}
-	n.pools = make(map[string][]net.Conn)
+	mc.pending[f.Seq] = ch
+	mc.mu.Unlock()
+
+	mc.writeMu.Lock()
+	if deadline, ok := ctx.Deadline(); ok {
+		mc.conn.SetWriteDeadline(deadline)
+	} else {
+		mc.conn.SetWriteDeadline(time.Time{})
+	}
+	err := wire.WriteFrame(mc.conn, f)
+	mc.writeMu.Unlock()
+	if err != nil {
+		mc.fail(fmt.Errorf("transport: write to %s: %w", mc.to, err))
+		// fail delivered the write error (or an earlier one) to ch.
+	}
+
+	select {
+	case res := <-ch:
+		return res.frame, res.err
+	case <-ctx.Done():
+		mc.mu.Lock()
+		delete(mc.pending, f.Seq)
+		mc.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("transport: call %s: %w", mc.to, ctx.Err())
+	}
+}
+
+// drainMuxes fails every shared outbound connection.
+func (n *tcpNode) drainMuxes() {
+	n.muxMu.Lock()
+	muxes := make([]*muxConn, 0, len(n.muxes))
+	for _, mc := range n.muxes {
+		muxes = append(muxes, mc)
+	}
+	n.muxMu.Unlock()
+	for _, mc := range muxes {
+		mc.fail(ErrNodeClosed)
+	}
 }
 
 func (n *tcpNode) Addr() string { return n.addr }
@@ -214,30 +342,56 @@ func (n *tcpNode) closeInbound() {
 	}
 }
 
-// serveConn handles a request/reply stream: frames in, replies out, one at a
-// time per connection (callers pipeline by using multiple connections). A
-// per-connection scratch buffer is reused across frames, so steady-state
-// serving reads without allocating; this is safe because each request is
-// fully handled before the next read (see the Handler contract).
+// readBufPool recycles per-request read buffers across connections and
+// requests, so steady-state serving reads without allocating even though
+// requests on one connection are handled concurrently.
+var readBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// serveConn handles a pipelined request/reply stream: the read loop pulls
+// frames off the socket as fast as they arrive and hands each to its own
+// handler goroutine, so a slow request does not stall the ones queued
+// behind it. Replies are written as handlers finish — possibly out of
+// request order — and the client's mux reorders by Seq. A semaphore bounds
+// per-connection concurrency; each request reads into a pooled buffer that
+// returns to the pool only after its handler finishes and the reply is
+// written, which preserves the Handler payload-aliasing contract.
 func (n *tcpNode) serveConn(conn net.Conn) {
-	var scratch []byte
+	var (
+		writeMu sync.Mutex
+		handled sync.WaitGroup
+		sem     = make(chan struct{}, maxPipelinedPerConn)
+	)
+	defer handled.Wait()
 	for {
-		req, grown, err := wire.ReadFrameReuse(conn, scratch)
+		bufp := readBufPool.Get().(*[]byte)
+		req, grown, err := wire.ReadFrameReuse(conn, *bufp)
 		if err != nil {
+			readBufPool.Put(bufp)
 			return // EOF or broken peer
 		}
-		scratch = grown
+		*bufp = grown
 		met := n.fabric.metrics()
 		met.Recv(&req)
-		reply, err := n.safeHandle(req)
-		if err != nil {
-			reply = ErrorReply(req, err)
-		}
-		reply.Seq = req.Seq
-		if err := wire.WriteFrame(conn, reply); err != nil {
-			return
-		}
-		met.Sent(&reply)
+		sem <- struct{}{}
+		handled.Add(1)
+		go func() {
+			defer func() {
+				readBufPool.Put(bufp)
+				<-sem
+				handled.Done()
+			}()
+			reply, err := n.safeHandle(req)
+			if err != nil {
+				reply = ErrorReply(req, err)
+			}
+			reply.Seq = req.Seq
+			writeMu.Lock()
+			err = wire.WriteFrame(conn, reply)
+			writeMu.Unlock()
+			if err == nil {
+				met.Sent(&reply)
+			}
+		}()
 	}
 }
 
@@ -303,9 +457,9 @@ func (n *tcpNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 		start = time.Now()
 	}
 	reply, reused, err := n.exchange(ctx, to, f)
-	if err != nil && reused {
-		// The pooled connection had gone stale (peer closed it while
-		// idle); one retry on a fresh connection.
+	if err != nil && reused && ctx.Err() == nil {
+		// The shared connection had gone stale (peer closed it while
+		// idle); one retry dials a fresh one.
 		reply, _, err = n.exchange(ctx, to, f)
 	}
 	if err != nil {
@@ -323,29 +477,14 @@ func (n *tcpNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 	return reply, nil
 }
 
-// exchange performs one request/reply over a pooled or fresh connection.
+// exchange performs one request/reply over the peer's shared mux.
 func (n *tcpNode) exchange(ctx context.Context, to string, f wire.Frame) (wire.Frame, bool, error) {
-	conn, reused, err := n.getConn(ctx, to)
+	mc, reused, err := n.getMux(ctx, to)
 	if err != nil {
 		return wire.Frame{}, reused, err
 	}
-	if deadline, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(deadline)
-	}
-	if err := wire.WriteFrame(conn, f); err != nil {
-		conn.Close()
-		return wire.Frame{}, reused, fmt.Errorf("transport: write to %s: %w", to, err)
-	}
-	reply, err := wire.ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		if errors.Is(err, io.EOF) {
-			return wire.Frame{}, reused, fmt.Errorf("transport: %s closed connection", to)
-		}
-		return wire.Frame{}, reused, fmt.Errorf("transport: read reply from %s: %w", to, err)
-	}
-	n.putConn(to, conn)
-	return reply, reused, nil
+	reply, err := mc.roundTrip(ctx, f)
+	return reply, reused, err
 }
 
 func (n *tcpNode) Close() error {
@@ -355,7 +494,7 @@ func (n *tcpNode) Close() error {
 	n.fabric.mu.Lock()
 	delete(n.fabric.nodes, n.addr)
 	n.fabric.mu.Unlock()
-	n.drainPools()
+	n.drainMuxes()
 	err := n.ln.Close()
 	n.closeInbound()
 	n.wg.Wait()

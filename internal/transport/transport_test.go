@@ -174,7 +174,7 @@ func TestIsErrorReplyNonError(t *testing.T) {
 	}
 }
 
-func TestTCPConnectionPooling(t *testing.T) {
+func TestTCPConnReuse(t *testing.T) {
 	fab := NewTCPFabric()
 	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
 	defer server.Close()
@@ -188,16 +188,16 @@ func TestTCPConnectionPooling(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cn.poolMu.Lock()
-	idle := len(cn.pools[server.Addr()])
-	cn.poolMu.Unlock()
-	// Sequential calls reuse one pooled connection.
-	if idle != 1 {
-		t.Fatalf("idle pooled conns = %d, want 1", idle)
+	// Sequential calls share one multiplexed connection.
+	cn.muxMu.Lock()
+	muxes := len(cn.muxes)
+	cn.muxMu.Unlock()
+	if muxes != 1 {
+		t.Fatalf("shared conns = %d, want 1", muxes)
 	}
 }
 
-func TestTCPStalePooledConnRetries(t *testing.T) {
+func TestTCPStaleConnRetries(t *testing.T) {
 	fab := NewTCPFabric()
 	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
 	defer server.Close()
@@ -209,13 +209,13 @@ func TestTCPStalePooledConnRetries(t *testing.T) {
 	if _, err := client.Call(context.Background(), server.Addr(), req); err != nil {
 		t.Fatal(err)
 	}
-	// Sabotage the pooled connection: close it locally so the next reuse
-	// fails and must retry on a fresh dial.
-	cn.poolMu.Lock()
-	for _, c := range cn.pools[server.Addr()] {
-		c.Close()
+	// Sabotage the shared connection: close the socket locally so the next
+	// write or read fails and the call must retry on a fresh dial.
+	cn.muxMu.Lock()
+	for _, mc := range cn.muxes {
+		mc.conn.Close()
 	}
-	cn.poolMu.Unlock()
+	cn.muxMu.Unlock()
 
 	reply, err := client.Call(context.Background(), server.Addr(), req)
 	if err != nil {
@@ -228,7 +228,7 @@ func TestTCPStalePooledConnRetries(t *testing.T) {
 	}
 }
 
-func TestTCPPoolBounded(t *testing.T) {
+func TestTCPCallsShareOneConn(t *testing.T) {
 	fab := NewTCPFabric()
 	server, _ := fab.Attach("127.0.0.1:0", echoHandler)
 	defer server.Close()
@@ -236,22 +236,106 @@ func TestTCPPoolBounded(t *testing.T) {
 	defer client.Close()
 	cn := client.(*tcpNode)
 
-	// Many concurrent calls open many connections; after they settle the
-	// pool must hold at most the cap.
+	// Many concurrent calls must multiplex over a single connection.
 	var wg sync.WaitGroup
+	errs := make(chan error, 16)
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "c"})
-			client.Call(context.Background(), server.Addr(), req)
+			if _, err := client.Call(context.Background(), server.Addr(), req); err != nil {
+				errs <- err
+			}
 		}()
 	}
 	wg.Wait()
-	cn.poolMu.Lock()
-	idle := len(cn.pools[server.Addr()])
-	cn.poolMu.Unlock()
-	if idle > maxIdleConnsPerPeer {
-		t.Fatalf("pool overflow: %d > %d", idle, maxIdleConnsPerPeer)
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	cn.muxMu.Lock()
+	muxes := len(cn.muxes)
+	cn.muxMu.Unlock()
+	if muxes != 1 {
+		t.Fatalf("shared conns = %d, want 1", muxes)
+	}
+}
+
+func TestTCPPipelinedSlowRequestDoesNotBlock(t *testing.T) {
+	// A slow handler must not stall other requests pipelined behind it on
+	// the same connection: replies may return out of request order.
+	block := make(chan struct{})
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", func(from string, f wire.Frame) (wire.Frame, error) {
+		var body echoBody
+		if err := f.Body(&body); err != nil {
+			return wire.Frame{}, err
+		}
+		if body.Text == "slow" {
+			<-block
+		}
+		return wire.NewFrame(f.Kind, f.To, f.From, &body)
+	})
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "slow"})
+		_, err := client.Call(context.Background(), server.Addr(), req)
+		slowDone <- err
+	}()
+
+	// The fast call completes while the slow one is still parked.
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "fast"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.Call(ctx, server.Addr(), req); err != nil {
+		t.Fatalf("fast call blocked behind slow one: %v", err)
+	}
+	close(block)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+func TestTCPCallTimeoutLeavesConnUsable(t *testing.T) {
+	// A caller that gives up must not poison the shared connection for
+	// later calls; its late reply is dropped by the mux reader.
+	block := make(chan struct{})
+	fab := NewTCPFabric()
+	server, _ := fab.Attach("127.0.0.1:0", func(from string, f wire.Frame) (wire.Frame, error) {
+		var body echoBody
+		if err := f.Body(&body); err != nil {
+			return wire.Frame{}, err
+		}
+		if body.Text == "hang" {
+			<-block
+		}
+		return wire.NewFrame(f.Kind, f.To, f.From, &body)
+	})
+	defer server.Close()
+	client, _ := fab.Attach("127.0.0.1:0", echoHandler)
+	defer client.Close()
+
+	hang, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "hang"})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := client.Call(ctx, server.Addr(), hang); err == nil {
+		t.Fatal("hung call did not time out")
+	}
+	close(block)
+
+	req, _ := wire.NewFrame(wire.KindPost, "", "", &echoBody{Text: "after"})
+	reply, err := client.Call(context.Background(), server.Addr(), req)
+	if err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	var body echoBody
+	reply.Body(&body)
+	if body.Text != "after" {
+		t.Fatalf("reply = %q", body.Text)
 	}
 }

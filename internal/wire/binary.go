@@ -1,0 +1,210 @@
+// Binary field primitives shared by the hand-rolled payload codecs.
+//
+// PR 2 replaced gob in the frame *header*; the migration payload bodies
+// (naplet records, mail, dock snapshots) kept gob until the codecs built on
+// these primitives replaced it. The building blocks mirror the frame
+// header's conventions — uvarint length prefixes, no reflection, sizes
+// computable arithmetically — so every codec in the system speaks one
+// dialect and DESIGN.md §10 documents it once.
+//
+// Encoding conventions:
+//
+//	string / []byte   [uvarint length] [bytes]
+//	bool              one byte, 0 or 1
+//	uvarint           binary.AppendUvarint
+//	varint (signed)   zigzag, binary.AppendVarint
+//	time.Time         [flag byte: 0 = zero time] or
+//	                  [1] [varint unix seconds] [uvarint nanoseconds]
+//
+// The explicit zero flag matters because the zero time.Time is year 1, far
+// outside the varint-friendly Unix range, and IsZero must survive a round
+// trip (zero creation times and open departure hops carry meaning).
+// Decoded times are UTC with second/nanosecond fidelity; time.Time.Equal
+// holds across a round trip, monotonic readings and locations do not
+// travel (they never did under gob either).
+//
+// Decoders consume from the front of a slice and return the rest, like the
+// frame header's readString. DecBytes aliases the input; callers that
+// retain the slice beyond the input's lifetime must copy (domain codecs
+// that store payloads do).
+package wire
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a uvarint-length-prefixed byte slice. nil and empty
+// encode identically (length 0).
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// AppendVarint appends a zigzag-encoded signed varint.
+func AppendVarint(dst []byte, x int64) []byte {
+	return binary.AppendVarint(dst, x)
+}
+
+// AppendTime appends a time with an explicit zero flag (see package
+// comment for the layout).
+func AppendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendVarint(dst, t.Unix())
+	return binary.AppendUvarint(dst, uint64(t.Nanosecond()))
+}
+
+// DecString consumes one length-prefixed string. The returned string is a
+// copy.
+func DecString(b []byte) (string, []byte, error) {
+	return readString(b)
+}
+
+// DecBytes consumes one length-prefixed byte slice. The result aliases b;
+// zero length decodes to nil.
+func DecBytes(b []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return nil, nil, ErrMalformed
+	}
+	if n == 0 {
+		return nil, b[sz:], nil
+	}
+	return b[sz : sz+int(n)], b[sz+int(n):], nil
+}
+
+// DecBool consumes one boolean byte. Bytes other than 0 and 1 are
+// malformed, keeping the encoding canonical for golden-byte tests.
+func DecBool(b []byte) (bool, []byte, error) {
+	if len(b) == 0 || b[0] > 1 {
+		return false, nil, ErrMalformed
+	}
+	return b[0] == 1, b[1:], nil
+}
+
+// DecUvarint consumes one unsigned varint.
+func DecUvarint(b []byte) (uint64, []byte, error) {
+	x, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, ErrMalformed
+	}
+	return x, b[sz:], nil
+}
+
+// DecVarint consumes one zigzag-encoded signed varint.
+func DecVarint(b []byte) (int64, []byte, error) {
+	x, sz := binary.Varint(b)
+	if sz <= 0 {
+		return 0, nil, ErrMalformed
+	}
+	return x, b[sz:], nil
+}
+
+// DecTime consumes one flagged time. Non-zero times decode as UTC.
+func DecTime(b []byte) (time.Time, []byte, error) {
+	if len(b) == 0 || b[0] > 1 {
+		return time.Time{}, nil, ErrMalformed
+	}
+	if b[0] == 0 {
+		return time.Time{}, b[1:], nil
+	}
+	sec, rest, err := DecVarint(b[1:])
+	if err != nil {
+		return time.Time{}, nil, err
+	}
+	nsec, rest, err := DecUvarint(rest)
+	if err != nil {
+		return time.Time{}, nil, err
+	}
+	if nsec >= 1e9 {
+		return time.Time{}, nil, ErrMalformed
+	}
+	return time.Unix(sec, int64(nsec)).UTC(), rest, nil
+}
+
+// DecCount consumes an element count that prefixes a sequence, rejecting
+// counts that could not possibly fit in the remaining input (each element
+// occupies at least minElemSize ≥ 1 encoded bytes). This bounds decoder
+// allocations by the input length, which is what keeps the fuzz targets
+// safe against hostile counts.
+func DecCount(b []byte, minElemSize int) (int, []byte, error) {
+	n, rest, err := DecUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n > uint64(len(rest)/minElemSize) {
+		return 0, nil, ErrMalformed
+	}
+	return int(n), rest, nil
+}
+
+// SizeString returns the encoded size of AppendString(s).
+func SizeString(s string) int {
+	return uvarintLen(uint64(len(s))) + len(s)
+}
+
+// SizeBytes returns the encoded size of AppendBytes(b).
+func SizeBytes(b []byte) int {
+	return uvarintLen(uint64(len(b))) + len(b)
+}
+
+// SizeUvarint returns the encoded size of AppendUvarint(x).
+func SizeUvarint(x uint64) int { return uvarintLen(x) }
+
+// SizeVarint returns the encoded size of AppendVarint(x).
+func SizeVarint(x int64) int {
+	return uvarintLen(uint64(x)<<1 ^ uint64(x>>63))
+}
+
+// SizeBool is the encoded size of a boolean.
+const SizeBool = 1
+
+// SizeTime returns the encoded size of AppendTime(t).
+func SizeTime(t time.Time) int {
+	if t.IsZero() {
+		return 1
+	}
+	return 1 + SizeVarint(t.Unix()) + uvarintLen(uint64(t.Nanosecond()))
+}
+
+// BinaryBody is a payload body with a hand-rolled binary codec: everything
+// a frame needs to carry it without reflection.
+type BinaryBody interface {
+	// EncodedSize returns the exact encoded byte count, computed
+	// arithmetically without encoding.
+	EncodedSize() int
+	// AppendBinary appends the encoded form to dst and returns it.
+	AppendBinary(dst []byte) []byte
+}
+
+// BinaryFrame builds a frame around a binary-codec body in one exact-size
+// allocation — the non-reflective counterpart of NewFrame.
+func BinaryFrame(kind Kind, from, to string, body BinaryBody) Frame {
+	payload := body.AppendBinary(make([]byte, 0, body.EncodedSize()))
+	return Frame{Kind: kind, From: from, To: to, Payload: payload}
+}
