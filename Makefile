@@ -7,18 +7,22 @@ verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/... ./internal/directory/... ./internal/locator/...
 	go run ./cmd/migrationbench -check BENCH_migration.json
+	go run ./cmd/directorybench -check BENCH_directory.json
 	$(MAKE) chaos
 
 # chaos runs the seeded fault-injection suites under the race detector:
 # ten fixed seeds driving tours and message streams through drops, dropped
 # replies, duplicates, crashes and partitions (TestChaosSeeds), plus the
 # server-death suite that crashes a mid-tour server for real and restarts
-# it from its dock snapshot (TestChaosRestartSeeds). Reproduce a failing
-# seed with: go test ./internal/server/ -run TestChaos -chaos.seed=N -v
+# it from its dock snapshot (TestChaosRestartSeeds), plus the directory
+# suite that kills a shard replica mid-tour and asserts the location plane
+# stays resolvable with exactly-once landings (TestChaosDirectorySeeds).
+# Reproduce a failing seed with:
+# go test ./internal/server/ -run TestChaos -chaos.seed=N -v
 chaos:
-	go test -race -count=1 -run 'TestChaosSeeds|TestChaosRestartSeeds' ./internal/server/
+	go test -race -count=1 -run 'TestChaosSeeds|TestChaosRestartSeeds|TestChaosDirectorySeeds' ./internal/server/
 
 # bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
 # PRs compare against. Samples each benchmark 5 times with allocation
@@ -47,6 +51,16 @@ fuzz:
 bench-migration:
 	go run ./cmd/migrationbench -count 5 -o BENCH_migration.json
 
+# bench-directory regenerates BENCH_directory.json: the location plane at
+# one million registered naplets — the global-mutex single-node baseline
+# against the sharded, replicated plane (per-node and aggregate), plus the
+# directory body codecs and rendezvous routing. Generation self-asserts
+# the sharded plane's aggregate lookup throughput at >= 4x the baseline;
+# `directorybench -check` (run by verify) fails if the deterministic
+# codec/ring benches regress allocs/op >10% against the committed file.
+bench-directory:
+	go run ./cmd/directorybench -count 5 -o BENCH_directory.json
+
 # fuzz-smoke gives every fuzz target ~10 seconds — enough to catch a fresh
 # regression in the corpus-adjacent input space without slowing CI.
 fuzz-smoke:
@@ -57,4 +71,4 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz 'FuzzDecodeMail$$' -fuzztime 10s ./internal/naplet/
 	go test -run '^$$' -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/dock/
 
-.PHONY: verify chaos bench bench-telemetry bench-migration fuzz fuzz-smoke
+.PHONY: verify chaos bench bench-telemetry bench-migration bench-directory fuzz fuzz-smoke

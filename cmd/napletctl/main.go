@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/id"
+	"repro/internal/locator"
 	"repro/internal/man"
 	"repro/internal/naplet"
 	"repro/internal/server"
@@ -92,6 +93,8 @@ func main() {
 		simpleOp(node, *home, "results", rest)
 	case "control":
 		control(node, *home, rest)
+	case "locate":
+		locate(node, *home, rest)
 	case "footprints":
 		footprints(node, *home)
 	default:
@@ -100,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|footprints} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|locate|footprints} [flags]")
 	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>")
 	fmt.Fprintln(os.Stderr, "       napletctl spans <metrics-addr> [naplet-id]")
 	os.Exit(2)
@@ -419,6 +422,34 @@ func footprints(node transport.Node, home string) {
 	if len(rb.Footprints) == 0 {
 		fmt.Println("no footprints")
 	}
+}
+
+// locate asks the home server's locator where a naplet currently resides —
+// the same query path peers use, so it exercises the directory plane (and
+// its shard routing, when configured) end to end.
+func locate(node transport.Node, home string, args []string) {
+	fs := flag.NewFlagSet("locate", flag.ExitOnError)
+	idStr := fs.String("id", "", "naplet identifier")
+	fs.Parse(args)
+	nid, err := id.Parse(*idStr)
+	if err != nil {
+		log.Fatalf("napletctl locate: bad -id: %v", err)
+	}
+	f := wire.BinaryFrame(wire.KindLocatorQuery, "", home, &locator.QueryBody{NapletID: nid})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reply, err := node.Call(ctx, home, f)
+	if err != nil {
+		log.Fatalf("napletctl locate: %v", err)
+	}
+	var rb locator.ReplyBody
+	if err := rb.Decode(reply.Payload); err != nil {
+		log.Fatal(err)
+	}
+	if !rb.Found {
+		log.Fatalf("napletctl locate: %s: not found", nid)
+	}
+	fmt.Println("resident at:", rb.Server)
 }
 
 func control(node transport.Node, home string, args []string) {

@@ -77,7 +77,9 @@ func buildRegistry() (*registry.Registry, error) {
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "TCP address to serve on")
 	dirServe := flag.Bool("directory-serve", false, "also host the central naplet directory on this address +1000")
-	dirAddr := flag.String("directory", "", "central directory address (enables directory location mode)")
+	dirAddr := flag.String("directory", "", "directory address(es), comma-separated; more than one enables the sharded, replicated location plane (and directory location mode)")
+	dirShards := flag.Int("dir-shards", 1, "with -directory-serve: number of directory shard services to host, on ports +1000, +1001, ...")
+	dirReplicas := flag.Int("dir-replicas", 2, "replica-group size per directory shard (clamped to the node count)")
 	community := flag.String("community", "public", "SNMP community of the local simulated device")
 	slots := flag.Int("slots", 0, "concurrent naplet execution slots (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics, /healthz and /spans (empty = disabled)")
@@ -116,8 +118,14 @@ func main() {
 			*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
 	}
 
+	var dirAddrs []string
+	for _, a := range strings.Split(*dirAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			dirAddrs = append(dirAddrs, a)
+		}
+	}
 	mode := locator.ModeForward
-	if *dirAddr != "" {
+	if len(dirAddrs) > 0 {
 		mode = locator.ModeDirectory
 	}
 	if *dirServe {
@@ -127,13 +135,18 @@ func main() {
 		}
 		var p int
 		fmt.Sscanf(port, "%d", &p)
-		daddr := fmt.Sprintf("%s:%d", host, p+1000)
-		if _, err := directory.NewService().Serve(fabric, daddr); err != nil {
-			log.Fatal(err)
+		if *dirShards < 1 {
+			*dirShards = 1
 		}
-		*dirAddr = daddr
+		for i := 0; i < *dirShards; i++ {
+			daddr := fmt.Sprintf("%s:%d", host, p+1000+i)
+			if _, err := directory.NewService().Serve(fabric, daddr); err != nil {
+				log.Fatal(err)
+			}
+			dirAddrs = append(dirAddrs, daddr)
+			log.Printf("napletd: directory service on %s", daddr)
+		}
 		mode = locator.ModeDirectory
-		log.Printf("napletd: directory service on %s", daddr)
 	}
 
 	var dockStore *dock.Store
@@ -146,15 +159,16 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Name:          *listen,
-		Fabric:        fabric,
-		Registry:      reg,
-		LocatorMode:   mode,
-		DirectoryAddr: *dirAddr,
-		Slots:         *slots,
-		Telemetry:     telem,
-		Tracer:        tracer,
-		Dock:          dockStore,
+		Name:           *listen,
+		Fabric:         fabric,
+		Registry:       reg,
+		LocatorMode:    mode,
+		DirectoryAddrs: dirAddrs,
+		DirReplicas:    *dirReplicas,
+		Slots:          *slots,
+		Telemetry:      telem,
+		Tracer:         tracer,
+		Dock:           dockStore,
 		// Real deployments tolerate transient loss: retry with the
 		// navigator's default exponential backoff (25ms -> 2s).
 		DispatchRetries: *dispatchRetries,

@@ -1,0 +1,182 @@
+package directory
+
+import (
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// Binary codecs for the directory-protocol bodies, following the migration
+// codec conventions (DESIGN.md §10): a leading version byte, no
+// reflection, exact-size allocation; decoders sniff the version byte and
+// fall back to gob for frames from senders predating the codec (a gob
+// stream's first byte is a segment length that is never 0x01 for these
+// struct bodies).
+
+// bodyCodecVersion is the leading version byte of binary protocol bodies.
+const bodyCodecVersion = 1
+
+// isBinaryBody reports whether a payload carries the binary body codec.
+func isBinaryBody(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == bodyCodecVersion
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *RegisterBody) EncodedSize() int {
+	return 1 + b.NapletID.EncodedSize() + wire.SizeUvarint(uint64(b.Event)) +
+		wire.SizeString(b.Server) + wire.SizeString(b.Dest) +
+		wire.SizeTime(b.At) + wire.SizeUvarint(b.Seq)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *RegisterBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = b.NapletID.AppendBinary(dst)
+	dst = wire.AppendUvarint(dst, uint64(b.Event))
+	dst = wire.AppendString(dst, b.Server)
+	dst = wire.AppendString(dst, b.Dest)
+	dst = wire.AppendTime(dst, b.At)
+	return wire.AppendUvarint(dst, b.Seq)
+}
+
+// Decode parses a register payload, binary or legacy gob.
+func (b *RegisterBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.NapletID, rest, err = id.DecodeBinary(rest); err != nil {
+		return err
+	}
+	ev, rest, err := wire.DecUvarint(rest)
+	if err != nil {
+		return err
+	}
+	if ev > uint64(Departure) {
+		return wire.ErrMalformed
+	}
+	b.Event = Event(ev)
+	if b.Server, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.Dest, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.At, rest, err = wire.DecTime(rest); err != nil {
+		return err
+	}
+	if b.Seq, _, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *LookupBody) EncodedSize() int {
+	return 1 + b.NapletID.EncodedSize()
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *LookupBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	return b.NapletID.AppendBinary(dst)
+}
+
+// Decode parses a lookup payload, binary or legacy gob.
+func (b *LookupBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	var err error
+	b.NapletID, _, err = id.DecodeBinary(payload[1:])
+	return err
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *DeregisterBody) EncodedSize() int {
+	return 1 + wire.SizeString(b.Server)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *DeregisterBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	return wire.AppendString(dst, b.Server)
+}
+
+// Decode parses a deregister payload, binary or legacy gob.
+func (b *DeregisterBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	var err error
+	b.Server, _, err = wire.DecString(payload[1:])
+	return err
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *ReplyBody) EncodedSize() int {
+	n := 1 + wire.SizeBool
+	if b.Found {
+		n += b.Entry.NapletID.EncodedSize() +
+			wire.SizeUvarint(uint64(b.Entry.Event)) +
+			wire.SizeString(b.Entry.Server) + wire.SizeString(b.Entry.Dest) +
+			wire.SizeTime(b.Entry.At) + wire.SizeUvarint(b.Entry.Seq)
+	}
+	return n
+}
+
+// AppendBinary appends the body's binary form to dst. A not-found reply
+// carries no entry bytes.
+func (b *ReplyBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.Found)
+	if !b.Found {
+		return dst
+	}
+	dst = b.Entry.NapletID.AppendBinary(dst)
+	dst = wire.AppendUvarint(dst, uint64(b.Entry.Event))
+	dst = wire.AppendString(dst, b.Entry.Server)
+	dst = wire.AppendString(dst, b.Entry.Dest)
+	dst = wire.AppendTime(dst, b.Entry.At)
+	return wire.AppendUvarint(dst, b.Entry.Seq)
+}
+
+// Decode parses a reply payload, binary or legacy gob.
+func (b *ReplyBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Found, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if !b.Found {
+		b.Entry = Entry{}
+		return nil
+	}
+	if b.Entry.NapletID, rest, err = id.DecodeBinary(rest); err != nil {
+		return err
+	}
+	ev, rest, err := wire.DecUvarint(rest)
+	if err != nil {
+		return err
+	}
+	if ev > uint64(Departure) {
+		return wire.ErrMalformed
+	}
+	b.Entry.Event = Event(ev)
+	if b.Entry.Server, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.Entry.Dest, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.Entry.At, rest, err = wire.DecTime(rest); err != nil {
+		return err
+	}
+	if b.Entry.Seq, _, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	return nil
+}

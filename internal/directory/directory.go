@@ -1,5 +1,5 @@
-// Package directory implements the NapletDirectory of §4.1: the optional
-// centralized service that tracks the location of naplets.
+// Package directory implements the NapletDirectory of §4.1: the service
+// that tracks the location of naplets.
 //
 // Navigators register ARRIVAL and DEPARTURE events. The registration
 // protocol preserves the paper's invariant: a naplet's execution at a
@@ -7,13 +7,26 @@
 // the directory always holds current information — if the latest entry for
 // a naplet is a departure it is in transit; if an arrival, it is running at
 // (or about to leave) the registered server.
+//
+// At production scale the directory is not one map behind one mutex. A
+// Service shards its entries over fixed lock stripes so lookups (RLock)
+// never serialize behind registrations, and keeps a by-server secondary
+// index so a closing dock's DeregisterServer touches only its own entries.
+// Above the single node, internal/directory/shard partitions the namespace
+// over the hierarchical NapletID's owner/home prefix by rendezvous hashing
+// and replicates each shard across a small replica group; the Directory
+// interface below is what the rest of the system programs against, so a
+// server is wired identically to one directory node or to a sharded,
+// replicated plane.
 package directory
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/id"
@@ -47,18 +60,56 @@ type Entry struct {
 	NapletID id.NapletID
 	Event    Event
 	Server   string
+	// Dest is the migration destination of a Departure event: the
+	// forwarding pointer. A lookup that finds an in-transit naplet resolves
+	// straight to where it is headed instead of chasing the visit-trace
+	// chain from the origin — the compressed form of the paper's
+	// forwarding mode.
+	Dest string
+	At   time.Time
+	// Seq orders events that share a timestamp: the naplet's navigation-log
+	// event index at registration time. Events race over the network (and
+	// are retried), so At alone cannot order an arrival and the departure
+	// that follows it within one clock tick.
+	Seq uint64
+}
+
+// Registration is one life-cycle event report.
+type Registration struct {
+	NapletID id.NapletID
+	Event    Event
+	Server   string
+	Dest     string
 	At       time.Time
+	Seq      uint64
+}
+
+// Directory is the location plane the rest of the system programs against:
+// a single directory node (*Client) or a sharded replicated plane
+// (*shard.Client) behind one interface.
+type Directory interface {
+	// RegisterEvent reports a life-cycle event.
+	RegisterEvent(ctx context.Context, r Registration) error
+	// Lookup returns the latest registered entry for a naplet.
+	Lookup(ctx context.Context, nid id.NapletID) (Entry, error)
+	// DeregisterServer withdraws every entry pointing at server.
+	DeregisterServer(ctx context.Context, server string) error
 }
 
 // ErrNotFound is reported for naplets with no registration.
 var ErrNotFound = errors.New("directory: naplet not registered")
+
+// compile-time interface check: a single node is a directory.
+var _ Directory = (*Client)(nil)
 
 // RegisterBody is the wire body of a KindDirRegister frame.
 type RegisterBody struct {
 	NapletID id.NapletID
 	Event    Event
 	Server   string
+	Dest     string
 	At       time.Time
+	Seq      uint64
 }
 
 // LookupBody is the wire body of a KindDirLookup frame.
@@ -86,17 +137,50 @@ type Stats struct {
 	Misses        int64
 }
 
-// Service is the centralized directory server. Attach it to a fabric with
-// Serve; it then answers register and lookup frames.
-type Service struct {
-	mu      sync.Mutex
+// numStripes is the lock-stripe count of a Service. A power of two so the
+// stripe pick is a mask; 64 stripes keep write collisions rare at high
+// registration rates without bloating an idle service.
+const numStripes = 64
+
+// stripeSeed keys the stripe hash. Process-wide (not per-Service) so two
+// services in one process shard identically — handy for tests comparing
+// replicas.
+var stripeSeed = maphash.MakeSeed()
+
+// stripe is one lock-striped partition of a Service's entries.
+type stripe struct {
+	mu      sync.RWMutex
 	entries map[string]Entry
-	stats   Stats
+	// byServer indexes entry keys by Entry.Server so a server withdrawal
+	// is O(entries-for-that-server), not a scan of the whole stripe.
+	byServer map[string]map[string]struct{}
 }
 
-// NewService returns an empty directory.
+// Service is one directory node. Attach it to a fabric with Serve; it then
+// answers register and lookup frames. All methods are safe for concurrent
+// use: lookups take per-stripe read locks and never serialize behind
+// registrations on other stripes.
+type Service struct {
+	stripes [numStripes]stripe
+
+	registrations atomic.Int64
+	lookups       atomic.Int64
+	misses        atomic.Int64
+}
+
+// NewService returns an empty directory node.
 func NewService() *Service {
-	return &Service{entries: make(map[string]Entry)}
+	s := &Service{}
+	for i := range s.stripes {
+		s.stripes[i].entries = make(map[string]Entry)
+		s.stripes[i].byServer = make(map[string]map[string]struct{})
+	}
+	return s
+}
+
+// stripeFor picks the lock stripe owning key.
+func (s *Service) stripeFor(key string) *stripe {
+	return &s.stripes[maphash.String(stripeSeed, key)&(numStripes-1)]
 }
 
 // Serve attaches the directory to the fabric under addr and returns its
@@ -111,90 +195,169 @@ func (s *Service) Handle(from string, f wire.Frame) (wire.Frame, error) {
 	switch f.Kind {
 	case wire.KindDirRegister:
 		var body RegisterBody
-		if err := f.Body(&body); err != nil {
+		if err := body.Decode(f.Payload); err != nil {
 			return wire.Frame{}, err
 		}
-		s.register(body)
-		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: true})
+		s.Register(body)
+		return wire.BinaryFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: true}), nil
 	case wire.KindDirLookup:
 		var body LookupBody
-		if err := f.Body(&body); err != nil {
+		if err := body.Decode(f.Payload); err != nil {
 			return wire.Frame{}, err
 		}
-		entry, ok := s.lookup(body.NapletID)
-		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: ok, Entry: entry})
+		entry, ok := s.Lookup(body.NapletID)
+		return wire.BinaryFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: ok, Entry: entry}), nil
 	case wire.KindDirDeregister:
 		var body DeregisterBody
-		if err := f.Body(&body); err != nil {
+		if err := body.Decode(f.Payload); err != nil {
 			return wire.Frame{}, err
 		}
-		s.deregisterServer(body.Server)
-		return wire.NewFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: true})
+		s.DeregisterServer(body.Server)
+		return wire.BinaryFrame(wire.KindDirReply, f.To, f.From, &ReplyBody{Found: true}), nil
 	default:
 		return wire.Frame{}, fmt.Errorf("directory: unexpected frame kind %q", f.Kind)
 	}
 }
 
-func (s *Service) register(body RegisterBody) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Registrations++
-	key := body.NapletID.Key()
-	cur, ok := s.entries[key]
-	// Events can race over the network: never let an older event overwrite
-	// a newer one.
-	if ok && body.At.Before(cur.At) {
-		return
+// newer reports whether the incoming event supersedes the stored entry.
+// Events race over the network and are retried, so the rule must be a
+// deterministic total preference — every replica applying any interleaving
+// of the same event set converges on the same entry:
+//
+//  1. a later At always wins;
+//  2. at equal At, an Arrival wins over a Departure: the arrival
+//     registration is the acknowledged one the paper's invariant hinges on
+//     ("execution postponed until the arrival is acknowledged"), so a
+//     stale or duplicated Departure report must never displace it — at
+//     worst the forwarding pointer chases one extra hop;
+//  3. at equal At and kind, the higher navigation-log sequence wins.
+func newer(in RegisterBody, cur Entry) bool {
+	if !in.At.Equal(cur.At) {
+		return in.At.After(cur.At)
 	}
-	s.entries[key] = Entry{NapletID: body.NapletID, Event: body.Event, Server: body.Server, At: body.At}
+	if in.Event != cur.Event {
+		return in.Event == Arrival
+	}
+	return in.Seq >= cur.Seq
 }
 
-// deregisterServer drops every entry that points at server. A closing dock
-// withdraws its registrations so peers fail fast (and consult fresher
-// information) instead of burning their retry budget on a dead address.
-func (s *Service) deregisterServer(server string) {
-	if server == "" {
+// Register applies one life-cycle event to this node's table. Exported for
+// in-process callers (benchmarks, composite servers); the wire path arrives
+// through Handle.
+func (s *Service) Register(body RegisterBody) {
+	s.registrations.Add(1)
+	key := body.NapletID.Key()
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.entries[key]
+	if ok && !newer(body, cur) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key, e := range s.entries {
-		if e.Server == server {
-			delete(s.entries, key)
+	if ok && cur.Server != body.Server {
+		st.unindex(cur.Server, key)
+	}
+	if !ok || cur.Server != body.Server {
+		st.index(body.Server, key)
+	}
+	st.entries[key] = Entry{
+		NapletID: body.NapletID, Event: body.Event,
+		Server: body.Server, Dest: body.Dest,
+		At: body.At, Seq: body.Seq,
+	}
+}
+
+func (st *stripe) index(server, key string) {
+	keys, ok := st.byServer[server]
+	if !ok {
+		keys = make(map[string]struct{})
+		st.byServer[server] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+func (st *stripe) unindex(server, key string) {
+	if keys, ok := st.byServer[server]; ok {
+		delete(keys, key)
+		if len(keys) == 0 {
+			delete(st.byServer, server)
 		}
 	}
 }
 
-func (s *Service) lookup(nid id.NapletID) (Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Lookups++
-	e, ok := s.entries[nid.Key()]
+// DeregisterServer drops every entry that points at server. A closing dock
+// withdraws its registrations so peers fail fast (and consult fresher
+// information) instead of burning their retry budget on a dead address.
+// The by-server index makes this proportional to the server's own entries.
+func (s *Service) DeregisterServer(server string) {
+	if server == "" {
+		return
+	}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for key := range st.byServer[server] {
+			delete(st.entries, key)
+		}
+		delete(st.byServer, server)
+		st.mu.Unlock()
+	}
+}
+
+// Lookup returns this node's latest entry for a naplet. Exported for
+// in-process callers; the wire path arrives through Handle.
+func (s *Service) Lookup(nid id.NapletID) (Entry, bool) {
+	s.lookups.Add(1)
+	key := nid.Key()
+	st := s.stripeFor(key)
+	st.mu.RLock()
+	e, ok := st.entries[key]
+	st.mu.RUnlock()
 	if !ok {
-		s.stats.Misses++
+		s.misses.Add(1)
 	}
 	return e, ok
 }
 
+// Len reports the number of registered naplets.
+func (s *Service) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.entries)
+		st.mu.RUnlock()
+	}
+	return n
+}
+
 // Snapshot returns a copy of all registered entries, for management tools.
 func (s *Service) Snapshot() []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, e)
+	out := make([]Entry, 0, s.Len())
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, e := range st.entries {
+			out = append(out, e)
+		}
+		st.mu.RUnlock()
 	}
 	return out
 }
 
 // Stats returns activity counters.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Registrations: s.registrations.Load(),
+		Lookups:       s.lookups.Load(),
+		Misses:        s.misses.Load(),
+	}
 }
 
-// Client accesses a directory service over the fabric.
+// Client accesses one directory node over the fabric. It is stateless and
+// safe for concurrent use; build it once and share it (constructing a
+// client per call was the seed's pattern and is exactly what the Locator
+// and Navigator no longer do).
 type Client struct {
 	node transport.Node
 	addr string
@@ -209,40 +372,39 @@ func NewClient(node transport.Node, addr string) *Client {
 // Addr returns the directory's address.
 func (c *Client) Addr() string { return c.addr }
 
-// Register reports a life-cycle event to the directory.
-func (c *Client) Register(ctx context.Context, nid id.NapletID, event Event, server string, at time.Time) error {
-	f, err := wire.NewFrame(wire.KindDirRegister, "", "", &RegisterBody{
-		NapletID: nid, Event: event, Server: server, At: at,
+// RegisterEvent reports a life-cycle event to the directory.
+func (c *Client) RegisterEvent(ctx context.Context, r Registration) error {
+	f := wire.BinaryFrame(wire.KindDirRegister, "", "", &RegisterBody{
+		NapletID: r.NapletID, Event: r.Event,
+		Server: r.Server, Dest: r.Dest, At: r.At, Seq: r.Seq,
 	})
-	if err != nil {
-		return err
-	}
-	_, err = c.node.Call(ctx, c.addr, f)
+	_, err := c.node.Call(ctx, c.addr, f)
 	return err
+}
+
+// Register reports a life-cycle event with no forwarding destination or
+// sequence — the pre-shard registration shape, kept for callers that track
+// only (event, server, at).
+func (c *Client) Register(ctx context.Context, nid id.NapletID, event Event, server string, at time.Time) error {
+	return c.RegisterEvent(ctx, Registration{NapletID: nid, Event: event, Server: server, At: at})
 }
 
 // DeregisterServer withdraws every directory entry pointing at server.
 func (c *Client) DeregisterServer(ctx context.Context, server string) error {
-	f, err := wire.NewFrame(wire.KindDirDeregister, "", "", &DeregisterBody{Server: server})
-	if err != nil {
-		return err
-	}
-	_, err = c.node.Call(ctx, c.addr, f)
+	f := wire.BinaryFrame(wire.KindDirDeregister, "", "", &DeregisterBody{Server: server})
+	_, err := c.node.Call(ctx, c.addr, f)
 	return err
 }
 
 // Lookup returns the latest registered entry for a naplet.
 func (c *Client) Lookup(ctx context.Context, nid id.NapletID) (Entry, error) {
-	f, err := wire.NewFrame(wire.KindDirLookup, "", "", &LookupBody{NapletID: nid})
-	if err != nil {
-		return Entry{}, err
-	}
+	f := wire.BinaryFrame(wire.KindDirLookup, "", "", &LookupBody{NapletID: nid})
 	reply, err := c.node.Call(ctx, c.addr, f)
 	if err != nil {
 		return Entry{}, err
 	}
 	var body ReplyBody
-	if err := reply.Body(&body); err != nil {
+	if err := body.Decode(reply.Payload); err != nil {
 		return Entry{}, err
 	}
 	if !body.Found {

@@ -1,0 +1,221 @@
+package directory
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// Regression for the equal-timestamp tie: a Departure report arriving with
+// the same At as the registered Arrival must not overwrite it. The arrival
+// registration is the acknowledged one (execution is postponed until it is
+// acked), so displacing it with a racing departure would break lookups for
+// a naplet that is demonstrably running.
+func TestEqualTimestampArrivalWins(t *testing.T) {
+	_, c := setup(t)
+	nid := id.MustNew("u", "home", t0)
+	ctx := context.Background()
+
+	c.RegisterEvent(ctx, Registration{NapletID: nid, Event: Arrival, Server: "s2", At: t0, Seq: 3})
+	// A duplicated/retried departure report with the identical timestamp.
+	c.RegisterEvent(ctx, Registration{NapletID: nid, Event: Departure, Server: "s1", Dest: "s2", At: t0, Seq: 2})
+	e, err := c.Lookup(ctx, nid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Event != Arrival || e.Server != "s2" {
+		t.Fatalf("equal-At departure overwrote arrival: %+v", e)
+	}
+
+	// And the same rule applied in the other arrival order.
+	nid2 := id.MustNew("u2", "home", t0)
+	c.RegisterEvent(ctx, Registration{NapletID: nid2, Event: Departure, Server: "s1", Dest: "s2", At: t0, Seq: 2})
+	c.RegisterEvent(ctx, Registration{NapletID: nid2, Event: Arrival, Server: "s2", At: t0, Seq: 3})
+	e, _ = c.Lookup(ctx, nid2)
+	if e.Event != Arrival || e.Server != "s2" {
+		t.Fatalf("arrival did not supersede equal-At departure: %+v", e)
+	}
+}
+
+// At equal At and equal kind, the higher navigation-log sequence wins, so a
+// retried duplicate of hop N cannot displace hop N+2 registered within the
+// same clock tick.
+func TestEqualTimestampSeqBreaksSameKind(t *testing.T) {
+	svc := NewService()
+	nid := id.MustNew("u", "home", t0)
+	svc.Register(RegisterBody{NapletID: nid, Event: Arrival, Server: "s5", At: t0, Seq: 5})
+	svc.Register(RegisterBody{NapletID: nid, Event: Arrival, Server: "s3", At: t0, Seq: 3})
+	e, ok := svc.Lookup(nid)
+	if !ok || e.Server != "s5" || e.Seq != 5 {
+		t.Fatalf("lower-seq duplicate overwrote: %+v", e)
+	}
+}
+
+func TestDeregisterServerDropsOnlyItsEntries(t *testing.T) {
+	svc := NewService()
+	var onS1 []id.NapletID
+	for i := 0; i < 200; i++ {
+		nid := id.MustNew("u", "home", t0.Add(time.Duration(i)*time.Second))
+		server := "s1"
+		if i%2 == 1 {
+			server = "s2"
+		} else {
+			onS1 = append(onS1, nid)
+		}
+		svc.Register(RegisterBody{NapletID: nid, Event: Arrival, Server: server, At: t0})
+	}
+	svc.DeregisterServer("s1")
+	if got := svc.Len(); got != 100 {
+		t.Fatalf("after deregister: %d entries, want 100", got)
+	}
+	for _, nid := range onS1 {
+		if _, ok := svc.Lookup(nid); ok {
+			t.Fatalf("entry for deregistered server survived: %s", nid)
+		}
+	}
+}
+
+// A naplet that moved between registrations must leave the by-server index
+// of its old server, or a later deregistration of that server would wrongly
+// drop it.
+func TestDeregisterAfterMoveKeepsMovedEntry(t *testing.T) {
+	svc := NewService()
+	nid := id.MustNew("u", "home", t0)
+	svc.Register(RegisterBody{NapletID: nid, Event: Arrival, Server: "s1", At: t0, Seq: 1})
+	svc.Register(RegisterBody{NapletID: nid, Event: Arrival, Server: "s2", At: t0.Add(time.Second), Seq: 3})
+	svc.DeregisterServer("s1")
+	e, ok := svc.Lookup(nid)
+	if !ok || e.Server != "s2" {
+		t.Fatalf("moved entry lost on old-server deregister: %+v ok=%v", e, ok)
+	}
+}
+
+// The supersedes rule is a deterministic total preference, so two replicas
+// applying the same event set in any interleaving converge on the same
+// entry. This is the single-node half of the shard-replica convergence
+// property; internal/directory/shard tests the networked half.
+func TestRegisterOrderIndependence(t *testing.T) {
+	nid := id.MustNew("u", "home", t0)
+	events := []RegisterBody{
+		{NapletID: nid, Event: Arrival, Server: "s1", At: t0, Seq: 1},
+		{NapletID: nid, Event: Departure, Server: "s1", Dest: "s2", At: t0.Add(time.Second), Seq: 2},
+		{NapletID: nid, Event: Arrival, Server: "s2", At: t0.Add(time.Second), Seq: 3},
+		{NapletID: nid, Event: Departure, Server: "s2", Dest: "s3", At: t0.Add(2 * time.Second), Seq: 4},
+		{NapletID: nid, Event: Arrival, Server: "s3", At: t0.Add(2 * time.Second), Seq: 5},
+	}
+	want := Entry{NapletID: nid, Event: Arrival, Server: "s3", At: t0.Add(2 * time.Second), Seq: 5}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(len(events))
+		svc := NewService()
+		for _, i := range perm {
+			svc.Register(events[i])
+			// Retries duplicate events on the wire; replay a random prefix.
+			svc.Register(events[perm[0]])
+		}
+		got, ok := svc.Lookup(nid)
+		if !ok || got.NapletID.Key() != want.NapletID.Key() ||
+			got.Event != want.Event || got.Server != want.Server ||
+			got.Dest != want.Dest || !got.At.Equal(want.At) || got.Seq != want.Seq {
+			t.Fatalf("perm %v diverged: got %+v want %+v", perm, got, want)
+		}
+	}
+}
+
+// Concurrent registrations and lookups across many goroutines: the striped
+// store must stay consistent (exercised under -race by make verify).
+func TestConcurrentRegisterLookup(t *testing.T) {
+	svc := NewService()
+	const naplets = 64
+	ids := make([]id.NapletID, naplets)
+	for i := range ids {
+		ids[i] = id.MustNew("u", "home", t0.Add(time.Duration(i)*time.Minute))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				nid := ids[(w*500+i)%naplets]
+				svc.Register(RegisterBody{
+					NapletID: nid, Event: Arrival, Server: "s1",
+					At: t0.Add(time.Duration(i) * time.Second), Seq: uint64(i),
+				})
+				svc.Lookup(nid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if svc.Len() != naplets {
+		t.Fatalf("len = %d, want %d", svc.Len(), naplets)
+	}
+}
+
+func TestBodyCodecRoundTrip(t *testing.T) {
+	nid := id.MustNew("u", "home", t0)
+	reg := RegisterBody{NapletID: nid, Event: Departure, Server: "s1", Dest: "s2", At: t0, Seq: 9}
+	buf := reg.AppendBinary(make([]byte, 0, reg.EncodedSize()))
+	if len(buf) != reg.EncodedSize() {
+		t.Fatalf("size: got %d want %d", len(buf), reg.EncodedSize())
+	}
+	var back RegisterBody
+	if err := back.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.NapletID.Key() != reg.NapletID.Key() || back.Event != reg.Event ||
+		back.Server != reg.Server || back.Dest != reg.Dest ||
+		!back.At.Equal(reg.At) || back.Seq != reg.Seq {
+		t.Fatalf("round trip: %+v != %+v", back, reg)
+	}
+
+	rep := ReplyBody{Found: true, Entry: Entry{NapletID: nid, Event: Departure, Server: "s1", Dest: "s2", At: t0, Seq: 9}}
+	buf = rep.AppendBinary(make([]byte, 0, rep.EncodedSize()))
+	if len(buf) != rep.EncodedSize() {
+		t.Fatalf("reply size: got %d want %d", len(buf), rep.EncodedSize())
+	}
+	var rback ReplyBody
+	if err := rback.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !rback.Found || rback.Entry.NapletID.Key() != rep.Entry.NapletID.Key() ||
+		rback.Entry.Event != rep.Entry.Event || rback.Entry.Server != rep.Entry.Server ||
+		rback.Entry.Dest != rep.Entry.Dest || !rback.Entry.At.Equal(rep.Entry.At) ||
+		rback.Entry.Seq != rep.Entry.Seq {
+		t.Fatalf("reply round trip: %+v != %+v", rback, rep)
+	}
+
+	miss := ReplyBody{Found: false}
+	buf = miss.AppendBinary(nil)
+	var mback ReplyBody
+	if err := mback.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if mback.Found {
+		t.Fatal("miss round trip found=true")
+	}
+}
+
+// Gob-era senders predate the binary bodies; decoders must still accept
+// their frames.
+func TestBodyCodecGobFallback(t *testing.T) {
+	nid := id.MustNew("u", "home", t0)
+	reg := RegisterBody{NapletID: nid, Event: Arrival, Server: "s1", At: t0}
+	payload, err := wire.Marshal(&reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RegisterBody
+	if err := back.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if back.Server != "s1" || back.Event != Arrival {
+		t.Fatalf("gob fallback: %+v", back)
+	}
+}

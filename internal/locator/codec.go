@@ -1,0 +1,95 @@
+package locator
+
+import (
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// Binary codecs for the locator-protocol bodies, per the migration codec
+// conventions (DESIGN.md §10): leading version byte, gob fallback for
+// frames from senders predating the codec.
+
+// bodyCodecVersion is the leading version byte of binary protocol bodies.
+const bodyCodecVersion = 1
+
+// isBinaryBody reports whether a payload carries the binary body codec.
+func isBinaryBody(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == bodyCodecVersion
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *QueryBody) EncodedSize() int {
+	return 1 + b.NapletID.EncodedSize()
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *QueryBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	return b.NapletID.AppendBinary(dst)
+}
+
+// Decode parses a query payload, binary or legacy gob.
+func (b *QueryBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	var err error
+	b.NapletID, _, err = id.DecodeBinary(payload[1:])
+	return err
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *ReplyBody) EncodedSize() int {
+	return 1 + wire.SizeBool + wire.SizeString(b.Server)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *ReplyBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.Found)
+	return wire.AppendString(dst, b.Server)
+}
+
+// Decode parses a reply payload, binary or legacy gob.
+func (b *ReplyBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Found, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Server, _, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *InvalidateBody) EncodedSize() int {
+	return 1 + b.NapletID.EncodedSize() + wire.SizeString(b.Server)
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *InvalidateBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = b.NapletID.AppendBinary(dst)
+	return wire.AppendString(dst, b.Server)
+}
+
+// Decode parses an invalidate payload, binary or legacy gob.
+func (b *InvalidateBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.NapletID, rest, err = id.DecodeBinary(rest); err != nil {
+		return err
+	}
+	if b.Server, _, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	return nil
+}

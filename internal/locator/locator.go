@@ -64,6 +64,15 @@ type ReplyBody struct {
 	Server string
 }
 
+// InvalidateBody is the wire body of a KindLocatorInvalidate frame: a
+// push notice from a naplet's previous server that it migrated. Server
+// carries the destination when known (the receiver refreshes its cache in
+// place); empty means only that the cached location went stale.
+type InvalidateBody struct {
+	NapletID id.NapletID
+	Server   string
+}
+
 // Errors reported by the locator.
 var (
 	ErrNotFound = errors.New("locator: naplet location unknown")
@@ -74,20 +83,28 @@ var (
 // live in the telemetry registry (the single source of truth); Stats is
 // the legacy view built by Locator.Stats.
 type Stats struct {
-	Lookups    int64
-	CacheHits  int64
-	Directory  int64 // directory round trips
-	HomeQuery  int64 // home-manager round trips
-	Failures   int64
-	CacheEvict int64
-	MissEvict  int64 // cache entries dropped after repeated misses
+	Lookups      int64
+	CacheHits    int64
+	Directory    int64 // directory round trips
+	HomeQuery    int64 // home-manager round trips
+	Failures     int64
+	CacheEvict   int64
+	MissEvict    int64 // cache entries dropped after repeated misses
+	Singleflight int64 // duplicate concurrent lookups coalesced
+	PushInval    int64 // migration push-invalidations received
 }
 
 // Config parameterizes a Locator.
 type Config struct {
 	// Mode selects the location strategy.
 	Mode Mode
-	// DirectoryAddr is the directory service address (ModeDirectory).
+	// Directory is the directory plane to consult in ModeDirectory: a
+	// single-node *directory.Client or a sharded, replicated
+	// *shard.Client. When nil, New builds a single-node client from
+	// DirectoryAddr (once — not per lookup).
+	Directory directory.Directory
+	// DirectoryAddr is the directory service address (ModeDirectory),
+	// used only when Directory is nil.
 	DirectoryAddr string
 	// CacheTTL bounds the age of cached locations; 0 disables caching.
 	CacheTTL time.Duration
@@ -103,30 +120,42 @@ type Config struct {
 
 // metrics holds the locator's registered counter handles.
 type metrics struct {
-	lookups    *telemetry.Counter
-	cacheHits  *telemetry.Counter
-	directory  *telemetry.Counter
-	homeQuery  *telemetry.Counter
-	failures   *telemetry.Counter
-	cacheEvict *telemetry.Counter
-	missEvict  *telemetry.Counter
+	lookups      *telemetry.Counter
+	cacheHits    *telemetry.Counter
+	directory    *telemetry.Counter
+	homeQuery    *telemetry.Counter
+	failures     *telemetry.Counter
+	cacheEvict   *telemetry.Counter
+	missEvict    *telemetry.Counter
+	singleflight *telemetry.Counter
+	pushInval    *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
 	return &metrics{
-		lookups:    reg.Counter("naplet_locator_lookups_total", "naplet location resolutions requested"),
-		cacheHits:  reg.Counter("naplet_locator_cache_hits_total", "resolutions served from the location cache"),
-		directory:  reg.Counter("naplet_locator_directory_queries_total", "central-directory round trips"),
-		homeQuery:  reg.Counter("naplet_locator_home_queries_total", "home-manager round trips"),
-		failures:   reg.Counter("naplet_locator_failures_total", "failed lookups (before hint fallback)"),
-		cacheEvict: reg.Counter("naplet_locator_cache_evictions_total", "cache entries dropped (TTL expiry or invalidation)"),
-		missEvict:  reg.Counter("naplet_locator_miss_invalidations_total", "cache entries dropped after repeated delivery misses"),
+		lookups:      reg.Counter("naplet_locator_lookups_total", "naplet location resolutions requested"),
+		cacheHits:    reg.Counter("naplet_locator_cache_hits_total", "resolutions served from the location cache"),
+		directory:    reg.Counter("naplet_locator_directory_queries_total", "central-directory round trips"),
+		homeQuery:    reg.Counter("naplet_locator_home_queries_total", "home-manager round trips"),
+		failures:     reg.Counter("naplet_locator_failures_total", "failed lookups (before hint fallback)"),
+		cacheEvict:   reg.Counter("naplet_locator_cache_evictions_total", "cache entries dropped (TTL expiry or invalidation)"),
+		missEvict:    reg.Counter("naplet_locator_miss_invalidations_total", "cache entries dropped after repeated delivery misses"),
+		singleflight: reg.Counter("naplet_locator_singleflight_total", "duplicate concurrent lookups coalesced onto one round trip"),
+		pushInval:    reg.Counter("naplet_locator_push_invalidations_total", "migration push-invalidations received"),
 	}
 }
 
 type cached struct {
 	server string
 	at     time.Time
+}
+
+// flight is one in-progress resolution that concurrent callers for the
+// same naplet wait on instead of issuing duplicate round trips.
+type flight struct {
+	done   chan struct{}
+	server string
+	err    error
 }
 
 // Locator resolves naplet identifiers to server names. It is safe for
@@ -137,10 +166,12 @@ type Locator struct {
 	mgr   *manager.Manager
 	clock func() time.Time
 	met   *metrics
+	dir   directory.Directory
 
-	mu     sync.Mutex
-	cache  map[string]cached
-	misses map[string]int
+	mu      sync.Mutex
+	cache   map[string]cached
+	misses  map[string]int
+	flights map[string]*flight
 }
 
 // New builds a locator for a server. node is the server's fabric node
@@ -158,14 +189,22 @@ func New(cfg Config, node transport.Node, mgr *manager.Manager, clock func() tim
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	dir := cfg.Directory
+	if dir == nil && cfg.DirectoryAddr != "" {
+		// Built once and reused for every lookup; the client is stateless
+		// and safe for concurrent use.
+		dir = directory.NewClient(node, cfg.DirectoryAddr)
+	}
 	return &Locator{
-		cfg:    cfg,
-		node:   node,
-		mgr:    mgr,
-		clock:  clock,
-		met:    newMetrics(reg),
-		cache:  make(map[string]cached),
-		misses: make(map[string]int),
+		cfg:     cfg,
+		node:    node,
+		mgr:     mgr,
+		clock:   clock,
+		met:     newMetrics(reg),
+		dir:     dir,
+		cache:   make(map[string]cached),
+		misses:  make(map[string]int),
+		flights: make(map[string]*flight),
 	}
 }
 
@@ -202,20 +241,22 @@ func (l *Locator) Locate(ctx context.Context, nid id.NapletID, hint string) (str
 
 	switch l.cfg.Mode {
 	case ModeDirectory:
-		server, err := l.locateViaDirectory(ctx, nid)
+		server, err := l.shared(nid, func() (string, error) {
+			return l.locateViaDirectory(ctx, nid)
+		})
 		if err != nil {
 			l.fail()
 			return l.fallback(hint, err)
 		}
-		l.remember(nid, server)
 		return server, nil
 	case ModeHome:
-		server, err := l.locateViaHome(ctx, nid)
+		server, err := l.shared(nid, func() (string, error) {
+			return l.locateViaHome(ctx, nid)
+		})
 		if err != nil {
 			l.fail()
 			return l.fallback(hint, err)
 		}
-		l.remember(nid, server)
 		return server, nil
 	default: // ModeForward
 		if hint == "" {
@@ -223,6 +264,35 @@ func (l *Locator) Locate(ctx context.Context, nid id.NapletID, hint string) (str
 		}
 		return hint, nil
 	}
+}
+
+// shared coalesces concurrent resolutions of the same naplet onto one
+// round trip: the first caller becomes the leader and performs the lookup;
+// the rest wait for its answer. Under fan-in messaging (many correspondents
+// resolving one fast-moving naplet at once) this collapses a thundering
+// herd of identical directory queries into a single one.
+func (l *Locator) shared(nid id.NapletID, resolve func() (string, error)) (string, error) {
+	key := nid.Key()
+	l.mu.Lock()
+	if f, ok := l.flights[key]; ok {
+		l.mu.Unlock()
+		l.met.singleflight.Inc()
+		<-f.done
+		return f.server, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	l.flights[key] = f
+	l.mu.Unlock()
+
+	f.server, f.err = resolve()
+	if f.err == nil {
+		l.remember(nid, f.server)
+	}
+	l.mu.Lock()
+	delete(l.flights, key)
+	l.mu.Unlock()
+	close(f.done)
+	return f.server, f.err
 }
 
 // fallback degrades to the caller's hint when a lookup fails.
@@ -291,11 +361,19 @@ func (l *Locator) Refresh(nid id.NapletID, server string) {
 }
 
 func (l *Locator) locateViaDirectory(ctx context.Context, nid id.NapletID) (string, error) {
+	if l.dir == nil {
+		return "", fmt.Errorf("%w: no directory configured", ErrNotFound)
+	}
 	l.met.directory.Inc()
-	client := directory.NewClient(l.node, l.cfg.DirectoryAddr)
-	entry, err := client.Lookup(ctx, nid)
+	entry, err := l.dir.Lookup(ctx, nid)
 	if err != nil {
 		return "", err
+	}
+	// A departure entry carries the migration destination: the compressed
+	// forwarding pointer. Resolving straight to it saves chasing the
+	// naplet's visit trace hop by hop.
+	if entry.Event == directory.Departure && entry.Dest != "" {
+		return entry.Dest, nil
 	}
 	return entry.Server, nil
 }
@@ -310,16 +388,13 @@ func (l *Locator) locateViaHome(ctx context.Context, nid id.NapletID) (string, e
 		return "", fmt.Errorf("%w: %s (home has no record)", ErrNotFound, nid)
 	}
 	l.met.homeQuery.Inc()
-	f, err := wire.NewFrame(wire.KindLocatorQuery, "", "", &QueryBody{NapletID: nid})
-	if err != nil {
-		return "", err
-	}
+	f := wire.BinaryFrame(wire.KindLocatorQuery, "", "", &QueryBody{NapletID: nid})
 	reply, err := l.node.Call(ctx, home, f)
 	if err != nil {
 		return "", err
 	}
 	var body ReplyBody
-	if err := reply.Body(&body); err != nil {
+	if err := body.Decode(reply.Payload); err != nil {
 		return "", err
 	}
 	if !body.Found {
@@ -332,7 +407,7 @@ func (l *Locator) locateViaHome(ctx context.Context, nid id.NapletID) (string, e
 // manager; the server routes KindLocatorQuery frames here.
 func (l *Locator) HandleQuery(from string, f wire.Frame) (wire.Frame, error) {
 	var body QueryBody
-	if err := f.Body(&body); err != nil {
+	if err := body.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
 	reply := ReplyBody{}
@@ -345,19 +420,50 @@ func (l *Locator) HandleQuery(from string, f wire.Frame) (wire.Frame, error) {
 			reply.Server = l.mgr.Server()
 		}
 	}
-	return wire.NewFrame(wire.KindLocatorReply, f.To, f.From, &reply)
+	// The home manager only tracks live residents; a naplet that has
+	// retired (or was launched elsewhere) may still have a last-known
+	// location in the directory plane.
+	if !reply.Found && l.dir != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if server, err := l.locateViaDirectory(ctx, body.NapletID); err == nil {
+			reply.Found = true
+			reply.Server = server
+		}
+		cancel()
+	}
+	return wire.BinaryFrame(wire.KindLocatorReply, f.To, f.From, &reply), nil
+}
+
+// HandleInvalidate applies a migration push-notice; the server routes
+// KindLocatorInvalidate frames here. A notice with the destination
+// refreshes the cache in place (the next message goes straight to the
+// naplet's new server, no lookup); one without drops the stale entry.
+func (l *Locator) HandleInvalidate(from string, f wire.Frame) (wire.Frame, error) {
+	var body InvalidateBody
+	if err := body.Decode(f.Payload); err != nil {
+		return wire.Frame{}, err
+	}
+	l.met.pushInval.Inc()
+	if body.Server != "" {
+		l.Refresh(body.NapletID, body.Server)
+	} else {
+		l.Invalidate(body.NapletID)
+	}
+	return wire.BinaryFrame(wire.KindLocatorReply, f.To, f.From, &ReplyBody{Found: body.Server != "", Server: body.Server}), nil
 }
 
 // Stats snapshots the locator's activity counters from the telemetry
 // registry.
 func (l *Locator) Stats() Stats {
 	return Stats{
-		Lookups:    l.met.lookups.Value(),
-		CacheHits:  l.met.cacheHits.Value(),
-		Directory:  l.met.directory.Value(),
-		HomeQuery:  l.met.homeQuery.Value(),
-		Failures:   l.met.failures.Value(),
-		CacheEvict: l.met.cacheEvict.Value(),
-		MissEvict:  l.met.missEvict.Value(),
+		Lookups:      l.met.lookups.Value(),
+		CacheHits:    l.met.cacheHits.Value(),
+		Directory:    l.met.directory.Value(),
+		HomeQuery:    l.met.homeQuery.Value(),
+		Failures:     l.met.failures.Value(),
+		CacheEvict:   l.met.cacheEvict.Value(),
+		MissEvict:    l.met.missEvict.Value(),
+		Singleflight: l.met.singleflight.Value(),
+		PushInval:    l.met.pushInval.Value(),
 	}
 }

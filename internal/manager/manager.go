@@ -317,6 +317,22 @@ func (m *Manager) RecordEnd(nid id.NapletID, at time.Time) {
 	}
 }
 
+// CompressTrace shortcuts this server's forwarding pointer for a departed
+// naplet straight to dest (path compression on the paper's forwarding
+// chains): once a chased message confirms where the naplet actually is,
+// later messages forwarded through here jump the intermediate hops. A
+// present naplet's trace is left untouched.
+func (m *Manager) CompressTrace(nid id.NapletID, dest string) {
+	if dest == "" || dest == m.server {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.visits[nid.Key()]; ok && !v.present && v.dest != "" {
+		v.dest = dest
+	}
+}
+
 // TraceNaplet answers a tracing request against the visit records.
 func (m *Manager) TraceNaplet(nid id.NapletID) Trace {
 	m.mu.Lock()

@@ -81,6 +81,8 @@ type Stats struct {
 	Interrupts  int64 // system messages cast as interrupts
 	Reconfirmed int64 // duplicate deliveries absorbed and re-confirmed
 	Retries     int64 // send/forward re-attempts on transient failures
+	PushedInval int64 // migration notices pushed to correspondents
+	Compressed  int64 // forwarding pointers compressed after a chase
 }
 
 // metrics holds the messenger's registered telemetry handles.
@@ -93,6 +95,8 @@ type metrics struct {
 	interrupts  *telemetry.Counter
 	reconfirmed *telemetry.Counter
 	retries     *telemetry.Counter
+	pushedInval *telemetry.Counter
+	compressed  *telemetry.Counter
 	confirmRTT  *telemetry.Histogram
 	retryWait   *telemetry.Histogram
 }
@@ -107,6 +111,8 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		interrupts:  reg.Counter("naplet_messenger_interrupts_total", "system messages cast as interrupts"),
 		reconfirmed: reg.Counter("naplet_messenger_reconfirmed_total", "duplicate deliveries absorbed and re-confirmed"),
 		retries:     reg.Counter("naplet_messenger_send_retries_total", "post/forward re-attempts on transient failures"),
+		pushedInval: reg.Counter("naplet_messenger_pushed_invalidations_total", "migration notices pushed to recent correspondents"),
+		compressed:  reg.Counter("naplet_messenger_compressed_traces_total", "forwarding pointers compressed after a completed chase"),
 		confirmRTT: reg.Histogram("naplet_messenger_confirm_rtt_seconds",
 			"post-to-confirmation round-trip time", telemetry.LatencyBuckets),
 		retryWait: reg.Histogram("naplet_messenger_retry_backoff_seconds",
@@ -162,7 +168,20 @@ type Messenger struct {
 	mailboxes map[string]*Mailbox
 	special   map[string][]naplet.Message
 	interrupt InterruptSink
+	// correspondents remembers, per resident naplet, which servers
+	// recently posted mail to it here — the peers worth telling when the
+	// naplet migrates (push-invalidation of their locator caches). Bounded
+	// by maxCorrespondents per naplet and maxTracked naplets.
+	correspondents map[string]map[string]struct{}
 }
+
+// Correspondent-tracking bounds: enough to cover a naplet's active
+// conversation partners without letting a chatty population grow the maps
+// unboundedly.
+const (
+	maxCorrespondents = 8
+	maxTracked        = 1024
+)
 
 // New builds the messenger of a server. node sends outbound frames; loc
 // resolves targets; mgr supplies visit traces for forwarding; nil clock
@@ -190,16 +209,17 @@ func New(cfg Config, server string, node transport.Node, loc *locator.Locator, m
 		reg = telemetry.NewRegistry()
 	}
 	return &Messenger{
-		cfg:       cfg,
-		server:    server,
-		node:      node,
-		loc:       loc,
-		mgr:       mgr,
-		clock:     clock,
-		met:       newMetrics(reg),
-		delivered: dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
-		mailboxes: make(map[string]*Mailbox),
-		special:   make(map[string][]naplet.Message),
+		cfg:            cfg,
+		server:         server,
+		node:           node,
+		loc:            loc,
+		mgr:            mgr,
+		clock:          clock,
+		met:            newMetrics(reg),
+		delivered:      dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
+		mailboxes:      make(map[string]*Mailbox),
+		special:        make(map[string][]naplet.Message),
+		correspondents: make(map[string]map[string]struct{}),
 	}
 }
 
@@ -223,6 +243,8 @@ func (m *Messenger) Stats() Stats {
 		Interrupts:  m.met.interrupts.Value(),
 		Reconfirmed: m.met.reconfirmed.Value(),
 		Retries:     m.met.retries.Value(),
+		PushedInval: m.met.pushedInval.Value(),
+		Compressed:  m.met.compressed.Value(),
 	}
 }
 
@@ -450,6 +472,7 @@ func (m *Messenger) HandlePost(from string, f wire.Frame) (wire.Frame, error) {
 	if err := body.Decode(f.Payload); err != nil {
 		return wire.Frame{}, err
 	}
+	m.noteCorrespondent(body.Msg.To, from)
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ForwardTimeout)
 	defer cancel()
 	confirm, err := m.deliverOrForward(ctx, body)
@@ -480,7 +503,15 @@ func (m *Messenger) deliverOrForward(ctx context.Context, body PostBody) (Confir
 			}
 			m.met.forwarded.Inc()
 			next := PostBody{Msg: body.Msg, Hops: body.Hops + 1}
-			return m.sendRetry(ctx, tr.Dest, next)
+			confirm, err := m.sendRetry(ctx, tr.Dest, next)
+			if err == nil && confirm.Delivered && confirm.Server != "" && confirm.Server != tr.Dest {
+				// The chase ran past tr.Dest: compress this server's
+				// forwarding pointer so the next message through here jumps
+				// straight to where the naplet actually is.
+				m.mgr.CompressTrace(to, confirm.Server)
+				m.met.compressed.Inc()
+			}
+			return confirm, err
 		}
 		if tr.Known && tr.Present {
 			// Present but no mailbox/interrupt target — a system message
@@ -543,6 +574,61 @@ func (m *Messenger) deliverLocal(msg naplet.Message) bool {
 	mb.put(msg)
 	m.markDelivered(msg)
 	return true
+}
+
+// noteCorrespondent remembers that peer posted mail for nid through this
+// server, so the peer can be told when nid migrates.
+func (m *Messenger) noteCorrespondent(nid id.NapletID, peer string) {
+	if peer == "" || peer == m.server {
+		return
+	}
+	key := nid.Key()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	peers, ok := m.correspondents[key]
+	if !ok {
+		if len(m.correspondents) >= maxTracked {
+			return
+		}
+		peers = make(map[string]struct{}, 1)
+		m.correspondents[key] = peers
+	}
+	if len(peers) >= maxCorrespondents {
+		return
+	}
+	peers[peer] = struct{}{}
+}
+
+// PushMigration tells the naplet's recent correspondents that it left this
+// server for dest, refreshing their locator caches in place (the paper's
+// "buffered naplet location information can be updated on migration",
+// pushed instead of polled). Best effort: an unreachable peer just misses
+// the notice and falls back to lookup-on-miss. Returns how many peers were
+// notified.
+func (m *Messenger) PushMigration(ctx context.Context, nid id.NapletID, dest string) int {
+	key := nid.Key()
+	m.mu.Lock()
+	peers := m.correspondents[key]
+	delete(m.correspondents, key)
+	m.mu.Unlock()
+	pushed := 0
+	for peer := range peers {
+		if peer == dest {
+			continue
+		}
+		body := locator.InvalidateBody{NapletID: nid, Server: dest}
+		f := wire.BinaryFrame(wire.KindLocatorInvalidate, m.server, peer, &body)
+		cctx, cancel := context.WithTimeout(ctx, m.cfg.ForwardTimeout)
+		_, err := m.node.Call(cctx, peer, f)
+		cancel()
+		if err == nil {
+			pushed++
+		}
+	}
+	if pushed > 0 {
+		m.met.pushedInval.Add(int64(pushed))
+	}
+	return pushed
 }
 
 // markDelivered records a message ID in the delivered window so later

@@ -204,7 +204,12 @@ type AdmitFunc func(req LandingRequestBody) error
 type Config struct {
 	// CodeDelivery selects push or pull bundle transport.
 	CodeDelivery CodeDelivery
-	// DirectoryAddr, when set, receives ARRIVAL/DEPART registrations.
+	// Directory, when set, receives ARRIVAL/DEPART registrations: a
+	// single-node client or a sharded, replicated plane. Takes precedence
+	// over DirectoryAddr.
+	Directory directory.Directory
+	// DirectoryAddr, when set (and Directory is nil), names a single
+	// directory node to register with.
 	DirectoryAddr string
 	// ReportHome, when set, sends arrival/departure events to each
 	// naplet's home manager (distributed directory mode).
@@ -241,6 +246,7 @@ type Navigator struct {
 	reg    *registry.Registry
 	cache  *registry.Cache
 	clock  func() time.Time
+	dir    directory.Directory
 
 	onLand  LandFunc
 	admit   AdmitFunc
@@ -270,6 +276,12 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 	if _, err := cryptorand.Read(nonce[:]); err != nil {
 		panic(fmt.Sprintf("navigator: boot nonce: %v", err))
 	}
+	dir := cfg.Directory
+	if dir == nil && cfg.DirectoryAddr != "" {
+		// Built once; registrations reuse it instead of constructing a
+		// client per event.
+		dir = directory.NewClient(node, cfg.DirectoryAddr)
+	}
 	return &Navigator{
 		cfg:      cfg,
 		server:   server,
@@ -279,6 +291,7 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 		reg:      reg,
 		cache:    cache,
 		clock:    clock,
+		dir:      dir,
 		bootID:   hex.EncodeToString(nonce[:]),
 		met:      newMetrics(treg),
 		accepted: dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
@@ -457,7 +470,7 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 	// (§4.1 — if the latest entry is a departure the naplet is in transit,
 	// if an arrival it is at that server).
 	departAt := n.clock()
-	n.RegisterEvent(ctx, rec, directory.Departure, n.server, departAt)
+	n.RegisterEvent(ctx, rec, directory.Departure, n.server, dest, departAt)
 	cctx, cancel = context.WithTimeout(ctx, n.cfg.CallTimeout)
 	ackReply, err := n.node.Call(cctx, dest, tf)
 	cancel()
@@ -474,7 +487,7 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 	if err != nil {
 		// The naplet never left: correct the directory with a fresh
 		// arrival at this server.
-		n.RegisterEvent(ctx, rec, directory.Arrival, n.server, n.clock())
+		n.RegisterEvent(ctx, rec, directory.Arrival, n.server, "", n.clock())
 		return bd, err
 	}
 	bd.Transfer = n.clock().Sub(trStart)
@@ -490,14 +503,35 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 	return bd, nil
 }
 
+// eventSeq derives the registration's tie-breaking sequence from the
+// naplet's navigation log, which travels with the record and so is
+// monotone across servers. Arrivals register after RecordArrival (the log
+// already holds the new hop), departures before RecordDeparture (it does
+// not yet), so hop k yields arrival seq 2k-1 and departure seq 2k.
+func eventSeq(rec *naplet.Record, ev directory.Event) uint64 {
+	hops := uint64(rec.Log.Len())
+	if ev == directory.Arrival {
+		if hops == 0 {
+			return 0
+		}
+		return 2*hops - 1
+	}
+	return 2 * hops
+}
+
 // RegisterEvent reports an arrival/departure to the directory and/or the
-// naplet's home manager, best effort. It is exported so the server can
-// register launch-time arrivals and clone births.
-func (n *Navigator) RegisterEvent(ctx context.Context, rec *naplet.Record, ev directory.Event, server string, at time.Time) {
-	if n.cfg.DirectoryAddr != "" {
-		client := directory.NewClient(n.node, n.cfg.DirectoryAddr)
+// naplet's home manager, best effort. dest is the migration destination of
+// a departure (the forwarding pointer lookups resolve to) and empty for
+// arrivals. It is exported so the server can register launch-time arrivals
+// and clone births.
+func (n *Navigator) RegisterEvent(ctx context.Context, rec *naplet.Record, ev directory.Event, server, dest string, at time.Time) {
+	if n.dir != nil {
 		cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
-		_ = client.Register(cctx, rec.ID, ev, server, at)
+		_ = n.dir.RegisterEvent(cctx, directory.Registration{
+			NapletID: rec.ID, Event: ev,
+			Server: server, Dest: dest,
+			At: at, Seq: eventSeq(rec, ev),
+		})
 		cancel()
 	}
 	if n.cfg.ReportHome && rec.Home != n.server {
@@ -612,7 +646,7 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 		n.mgr.RecordArrival(rec.ID, rec.Codebase, from, now)
 	}
 	rec.Log.RecordArrival(n.server, now)
-	n.RegisterEvent(context.Background(), rec, directory.Arrival, n.server, now)
+	n.RegisterEvent(context.Background(), rec, directory.Arrival, n.server, "", now)
 	n.met.landed.Inc()
 	// Mark only after the landing fully succeeded: a transfer that failed
 	// validation or code loading must stay retryable under the same ID.

@@ -136,7 +136,7 @@ func (s *Server) restoreFromDock() error {
 			// PhaseVisiting re-runs the pending visit (at-least-once
 			// within a visit); PhaseResident resumes at the next decision.
 			arrived := r.Phase == dock.PhaseVisiting
-			s.nav.RegisterEvent(context.Background(), rec, directory.Arrival, s.name, now)
+			s.nav.RegisterEvent(context.Background(), rec, directory.Arrival, s.name, "", now)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()

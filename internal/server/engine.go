@@ -91,7 +91,7 @@ func (s *Server) Launch(ctx context.Context, opts LaunchOptions) (id.NapletID, e
 	s.mgr.RecordLaunch(nid, opts.Listener)
 	s.mgr.RecordArrival(nid, opts.Codebase, "origin", now)
 	rec.Log.RecordArrival(s.name, now)
-	s.nav.RegisterEvent(ctx, rec, directory.Arrival, s.name, now)
+	s.nav.RegisterEvent(ctx, rec, directory.Arrival, s.name, "", now)
 	s.msgr.CreateMailbox(nid)
 	s.mgr.SetStatus(nid, manager.StatusRunning, "")
 
@@ -418,6 +418,11 @@ func (s *Server) departed(rec *naplet.Record, dest string) {
 		fcancel()
 	}
 	s.mon.Remove(rec.ID)
+	// Tell recent correspondents where the naplet went so their locator
+	// caches refresh in place instead of chasing forwarding pointers.
+	pctx, pcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	s.msgr.PushMigration(pctx, rec.ID, dest)
+	pcancel()
 	s.reportStatus(rec, manager.StatusInTransit, "")
 }
 
@@ -548,7 +553,7 @@ func (s *Server) forkAll(rec *naplet.Record, branches []*itinerary.Pattern) erro
 	for _, clone := range clones {
 		s.mgr.RecordArrival(clone.ID, clone.Codebase, "clone:"+rec.ID.Key(), now)
 		clone.Log.RecordArrival(s.name, now)
-		s.nav.RegisterEvent(context.Background(), clone, directory.Arrival, s.name, now)
+		s.nav.RegisterEvent(context.Background(), clone, directory.Arrival, s.name, "", now)
 		s.msgr.CreateMailbox(clone.ID)
 		clone := clone
 		s.wg.Add(1)

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cred"
 	"repro/internal/directory"
+	"repro/internal/directory/shard"
 	"repro/internal/dock"
 	"repro/internal/health"
 	"repro/internal/id"
@@ -61,6 +62,16 @@ type Config struct {
 	// DirectoryAddr is the central directory address (required for
 	// ModeDirectory; also receives arrival/departure registrations).
 	DirectoryAddr string
+	// DirectoryAddrs, when set, names the nodes of a sharded, replicated
+	// directory plane and takes precedence over DirectoryAddr. With more
+	// than one node the server routes registrations and lookups by
+	// rendezvous hashing over the NapletID's owner/home prefix, writing
+	// through to DirReplicas replicas per shard and failing lookups over
+	// on health signals.
+	DirectoryAddrs []string
+	// DirReplicas is the replica-group size per shard (default 2, clamped
+	// to the node count). Meaningful only with DirectoryAddrs.
+	DirReplicas int
 	// ReportHome sends arrival/departure events to each naplet's home
 	// manager (the distributed directory of §4.1).
 	ReportHome bool
@@ -111,15 +122,16 @@ type Server struct {
 	node  transport.Node
 	clock func() time.Time
 
-	reg    *registry.Registry
-	cache  *registry.Cache
-	sec    *security.Manager
-	res    *resource.Manager
-	mon    *monitor.Monitor
-	mgr    *manager.Manager
-	loc    *locator.Locator
-	msgr   *messenger.Messenger
-	nav    *navigator.Navigator
+	reg       *registry.Registry
+	cache     *registry.Cache
+	sec       *security.Manager
+	res       *resource.Manager
+	mon       *monitor.Monitor
+	mgr       *manager.Manager
+	loc       *locator.Locator
+	msgr      *messenger.Messenger
+	nav       *navigator.Navigator
+	dir       directory.Directory
 	telem     *telemetry.Registry
 	tracer    *telemetry.HopTracer
 	hd        *health.Detector
@@ -204,22 +216,41 @@ func New(cfg Config) (*Server, error) {
 	s.failovers = s.telem.Counter("naplet_server_failovers_total",
 		"itinerary reroutes taken after a dead destination or evacuation")
 
+	// One directory client for every component: a sharded, replicated
+	// plane when several nodes are configured, a single-node client
+	// otherwise. Built once; the locator, navigator, and shutdown path all
+	// share it.
+	dirAddrs := cfg.DirectoryAddrs
+	if len(dirAddrs) == 0 && cfg.DirectoryAddr != "" {
+		dirAddrs = []string{cfg.DirectoryAddr}
+	}
+	switch {
+	case len(dirAddrs) > 1:
+		s.dir = shard.New(node, shard.Config{
+			Nodes:    dirAddrs,
+			Replicas: cfg.DirReplicas,
+			Health:   hd,
+		})
+	case len(dirAddrs) == 1:
+		s.dir = directory.NewClient(node, dirAddrs[0])
+	}
+
 	s.loc = locator.New(locator.Config{
-		Mode:          cfg.LocatorMode,
-		DirectoryAddr: cfg.DirectoryAddr,
-		CacheTTL:      cfg.LocatorTTL,
-		Telemetry:     s.telem,
+		Mode:      cfg.LocatorMode,
+		Directory: s.dir,
+		CacheTTL:  cfg.LocatorTTL,
+		Telemetry: s.telem,
 	}, node, s.mgr, clock)
 	msgrCfg := cfg.Messenger
 	msgrCfg.Telemetry = s.telem
 	s.msgr = messenger.New(msgrCfg, s.name, node, s.loc, s.mgr, clock)
 	s.nav = navigator.New(navigator.Config{
-		CodeDelivery:  cfg.CodeDelivery,
-		DirectoryAddr: cfg.DirectoryAddr,
-		ReportHome:    cfg.ReportHome,
-		Telemetry:     s.telem,
-		Tracer:        s.tracer,
-		Health:        hd,
+		CodeDelivery: cfg.CodeDelivery,
+		Directory:    s.dir,
+		ReportHome:   cfg.ReportHome,
+		Telemetry:    s.telem,
+		Tracer:       s.tracer,
+		Health:       hd,
 	}, s.name, node, s.sec, s.mgr, s.reg, s.cache, clock)
 
 	s.nav.SetLandFunc(s.land)
@@ -278,6 +309,10 @@ func (s *Server) Locator() *locator.Locator { return s.loc }
 
 // Navigator returns the server's Navigator.
 func (s *Server) Navigator() *navigator.Navigator { return s.nav }
+
+// Directory returns the server's shared directory client (nil when no
+// directory is configured). Sharded when several nodes were given.
+func (s *Server) Directory() directory.Directory { return s.dir }
 
 // Resources returns the server's ResourceManager.
 func (s *Server) Resources() *resource.Manager { return s.res }
@@ -366,12 +401,12 @@ func (s *Server) finishDrain(ctx context.Context) {
 // withdrawRegistrations removes this server's entries from the central
 // directory so peers stop routing naplets and mail here. Best effort.
 func (s *Server) withdrawRegistrations() {
-	if s.cfg.DirectoryAddr == "" {
+	if s.dir == nil {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	_ = directory.NewClient(s.node, s.cfg.DirectoryAddr).DeregisterServer(ctx, s.name)
+	_ = s.dir.DeregisterServer(ctx, s.name)
 }
 
 // handle is the server's composite frame handler, dispatching to the
@@ -400,6 +435,8 @@ func (s *Server) handle(from string, f wire.Frame) (wire.Frame, error) {
 		return reply, err
 	case wire.KindLocatorQuery:
 		return s.loc.HandleQuery(from, f)
+	case wire.KindLocatorInvalidate:
+		return s.loc.HandleInvalidate(from, f)
 	case wire.KindReport:
 		return s.handleReport(from, f)
 	case wire.KindControl:

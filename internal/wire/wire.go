@@ -63,14 +63,15 @@ const (
 	KindPostForward Kind = "messenger.forward"
 
 	// Manager/monitor control (§2.2).
-	KindControl       Kind = "manager.control"
-	KindControlReply  Kind = "manager.control-reply"
-	KindReport        Kind = "manager.report"
-	KindHomeEvent     Kind = "manager.home-event"
-	KindLocatorQuery  Kind = "locator.query"
-	KindLocatorReply  Kind = "locator.reply"
-	KindServiceInvoke Kind = "resource.service-invoke"
-	KindServiceReply  Kind = "resource.service-reply"
+	KindControl           Kind = "manager.control"
+	KindControlReply      Kind = "manager.control-reply"
+	KindReport            Kind = "manager.report"
+	KindHomeEvent         Kind = "manager.home-event"
+	KindLocatorQuery      Kind = "locator.query"
+	KindLocatorReply      Kind = "locator.reply"
+	KindLocatorInvalidate Kind = "locator.invalidate"
+	KindServiceInvoke     Kind = "resource.service-invoke"
+	KindServiceReply      Kind = "resource.service-reply"
 )
 
 // Frame is the unit of inter-server communication.
