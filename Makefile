@@ -7,9 +7,10 @@ verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/... ./internal/directory/... ./internal/locator/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/... ./internal/directory/... ./internal/locator/... ./internal/fleet/...
 	go run ./cmd/migrationbench -check BENCH_migration.json
 	go run ./cmd/directorybench -check BENCH_directory.json
+	go run ./cmd/fleetbench -check BENCH_fleet.json
 	$(MAKE) chaos
 
 # chaos runs the seeded fault-injection suites under the race detector:
@@ -18,11 +19,16 @@ verify:
 # server-death suite that crashes a mid-tour server for real and restarts
 # it from its dock snapshot (TestChaosRestartSeeds), plus the directory
 # suite that kills a shard replica mid-tour and asserts the location plane
-# stays resolvable with exactly-once landings (TestChaosDirectorySeeds).
-# Reproduce a failing seed with:
+# stays resolvable with exactly-once landings (TestChaosDirectorySeeds),
+# plus the fleet suite that crash-kills a dock mid-launch-wave and asserts
+# the master reschedules its launches with exactly-once landings while a
+# slow event subscriber is shed without stalling ingest
+# (TestChaosFleetSeeds). Reproduce a failing seed with:
 # go test ./internal/server/ -run TestChaos -chaos.seed=N -v
+# go test ./internal/fleet/  -run TestChaos -chaos.seed=N -v
 chaos:
 	go test -race -count=1 -run 'TestChaosSeeds|TestChaosRestartSeeds|TestChaosDirectorySeeds' ./internal/server/
+	go test -race -count=1 -run 'TestChaosFleetSeeds' ./internal/fleet/
 
 # bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
 # PRs compare against. Samples each benchmark 5 times with allocation
@@ -61,6 +67,23 @@ bench-migration:
 bench-directory:
 	go run ./cmd/directorybench -count 5 -o BENCH_directory.json
 
+# bench-fleet regenerates BENCH_fleet.json: the fleet control plane's
+# protocol codecs, broadcaster fan-out with 64 live subscribers, the
+# watchdog rate estimator, and wave-scheduling throughput across 200
+# simulated docks. `fleetbench -check` (run by verify) fails if the
+# deterministic benches regress allocs/op >10% against the committed file.
+bench-fleet:
+	go run ./cmd/fleetbench -count 5 -o BENCH_fleet.json
+
+# compose-smoke builds the deploy/ images, boots a master + three docks
+# under docker compose, waits for every dock to turn ready, runs a launch
+# wave through napletctl, and asserts the tour results. Needs a docker
+# daemon; CI gates on it, local runs are optional.
+compose-smoke:
+	docker compose -f deploy/docker-compose.yml up -d --build --wait
+	./deploy/smoke.sh || (docker compose -f deploy/docker-compose.yml logs; exit 1)
+	docker compose -f deploy/docker-compose.yml down -v
+
 # fuzz-smoke gives every fuzz target ~10 seconds — enough to catch a fresh
 # regression in the corpus-adjacent input space without slowing CI.
 fuzz-smoke:
@@ -71,4 +94,4 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz 'FuzzDecodeMail$$' -fuzztime 10s ./internal/naplet/
 	go test -run '^$$' -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/dock/
 
-.PHONY: verify chaos bench bench-telemetry bench-migration bench-directory fuzz fuzz-smoke
+.PHONY: verify chaos bench bench-telemetry bench-migration bench-directory bench-fleet compose-smoke fuzz fuzz-smoke

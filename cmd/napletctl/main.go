@@ -9,7 +9,8 @@
 //	napletctl -home <addr> status  -id <naplet-id>
 //	napletctl -home <addr> results -id <naplet-id>
 //	napletctl -home <addr> control -id <naplet-id> -verb terminate
-//	napletctl metrics <metrics-addr>
+//	napletctl -master <addr> fleet {nodes|wave|watch} [flags]
+//	napletctl metrics <metrics-addr>[,<metrics-addr>...]
 //	napletctl spans <metrics-addr> [naplet-id]
 //
 // The home address is the napletd that launched (or will launch) the
@@ -45,6 +46,7 @@ import (
 
 func main() {
 	home := flag.String("home", "127.0.0.1:7001", "home naplet server address")
+	master := flag.String("master", "127.0.0.1:7100", "napletmaster address (fleet subcommands)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -56,7 +58,7 @@ func main() {
 	// fabric node.
 	if cmd == "metrics" {
 		if len(rest) != 1 {
-			fmt.Fprintln(os.Stderr, "usage: napletctl metrics <metrics-addr>")
+			fmt.Fprintln(os.Stderr, "usage: napletctl metrics <metrics-addr>[,<metrics-addr>...]")
 			os.Exit(2)
 		}
 		metrics(rest[0])
@@ -97,6 +99,8 @@ func main() {
 		locate(node, *home, rest)
 	case "footprints":
 		footprints(node, *home)
+	case "fleet":
+		fleetCmd(node, *master, rest)
 	default:
 		usage()
 	}
@@ -104,7 +108,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|locate|footprints} [flags]")
-	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>")
+	fmt.Fprintln(os.Stderr, "       napletctl -master <addr> fleet {nodes|wave|watch} [flags]")
+	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>[,<metrics-addr>...]")
 	fmt.Fprintln(os.Stderr, "       napletctl spans <metrics-addr> [naplet-id]")
 	os.Exit(2)
 }
@@ -116,10 +121,34 @@ type sample struct {
 	value  float64
 }
 
-// metrics fetches a napletd telemetry endpoint and pretty-prints the
+// metrics accepts one telemetry address or a comma-separated list. A
+// single address keeps the classic single-node output; a list fetches
+// every node and prints the same tables prefixed per node, so one
+// invocation surveys a whole fleet.
+func metrics(addrList string) {
+	var addrs []string
+	for _, a := range strings.Split(addrList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("napletctl metrics: no address given")
+	}
+	if len(addrs) == 1 {
+		metricsOne(addrs[0], "")
+		return
+	}
+	for _, a := range addrs {
+		metricsOne(a, a+" ")
+	}
+}
+
+// metricsOne fetches a napletd telemetry endpoint and pretty-prints the
 // naplet-relevant families, grouped by component, with a few derived
-// figures (cache hit ratio, mean latencies).
-func metrics(addr string) {
+// figures (cache hit ratio, mean latencies). A non-empty prefix tags
+// every table title and derived line with the node it came from.
+func metricsOne(addr, prefix string) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
@@ -165,7 +194,7 @@ func metrics(addr string) {
 	for _, c := range components {
 		rows := byComponent[c]
 		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
-		tbl := stats.NewTable(c, "value")
+		tbl := stats.NewTable(prefix+c, "value")
 		for _, s := range rows {
 			tbl.AddRow(strings.TrimPrefix(s.name, "naplet_"+c+"_"), formatMetric(s.value))
 		}
@@ -176,10 +205,10 @@ func metrics(addr string) {
 	// Derived figures the raw families only imply.
 	if lookups := values["naplet_locator_lookups_total"]; lookups > 0 {
 		hits := values["naplet_locator_cache_hits_total"]
-		fmt.Printf("locator cache hit ratio: %.1f%%\n", 100*hits/lookups)
+		fmt.Printf("%slocator cache hit ratio: %.1f%%\n", prefix, 100*hits/lookups)
 	}
-	printMean(values, "naplet_messenger_confirm_rtt_seconds", "mean confirm RTT")
-	printMean(values, "naplet_navigator_hop_latency_seconds", "mean hop latency")
+	printMean(values, "naplet_messenger_confirm_rtt_seconds", prefix+"mean confirm RTT")
+	printMean(values, "naplet_navigator_hop_latency_seconds", prefix+"mean hop latency")
 }
 
 // spans fetches a napletd telemetry endpoint's migration-span ring and

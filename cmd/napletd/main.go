@@ -33,6 +33,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/dock"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/locator"
 	"repro/internal/man"
 	"repro/internal/naplet"
@@ -82,7 +83,10 @@ func main() {
 	dirReplicas := flag.Int("dir-replicas", 2, "replica-group size per directory shard (clamped to the node count)")
 	community := flag.String("community", "public", "SNMP community of the local simulated device")
 	slots := flag.Int("slots", 0, "concurrent naplet execution slots (0 = unlimited)")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics, /healthz and /spans (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics, /healthz, /readyz and /spans (empty = disabled)")
+	masterAddr := flag.String("master", "", "napletmaster address to register with (empty = no fleet control plane)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "initial fleet heartbeat cadence (the master's register reply overrides it)")
+	fleetLabels := flag.String("fleet-labels", "", "comma-separated operator labels reported to the master")
 	dispatchRetries := flag.Int("dispatch-retries", 8, "migration retry budget per hop (exponential backoff)")
 	dockDir := flag.String("dock-dir", "", "directory for durable dock snapshots; on boot the server restores resident naplets, held mail and dedup state from it (empty = volatile)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before the hard close")
@@ -177,6 +181,47 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Fleet control plane: register with the master, heartbeat with dock
+	// stats, and export hop spans and nav-log events. The agent's queue
+	// sheds load rather than block the migration path.
+	var agent *fleet.Agent
+	if *masterAddr != "" {
+		var labels []string
+		for _, l := range strings.Split(*fleetLabels, ",") {
+			if l = strings.TrimSpace(l); l != "" {
+				labels = append(labels, l)
+			}
+		}
+		agent, err = fleet.NewAgent(fleet.AgentConfig{
+			Node:           srv.Node(),
+			Master:         *masterAddr,
+			MetricsAddr:    *metricsAddr,
+			Labels:         labels,
+			HeartbeatEvery: *heartbeat,
+			Telemetry:      telem,
+			Stats: func() fleet.NodeStats {
+				st := fleet.NodeStats{
+					Residents: srv.Manager().Resident(),
+					Draining:  srv.Draining(),
+				}
+				if dockStore != nil {
+					if used, err := dockStore.DiskUsage(); err == nil {
+						st.DiskUsedBytes = used
+					}
+				}
+				return st
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracer.SetSink(func(sp telemetry.HopSpan) { agent.Publish(fleet.SpanEvent(sp)) })
+		srv.SetEventSink(func(e server.Event) { agent.Publish(fleet.NavEvent(e)) })
+		agent.Run()
+		defer agent.Close()
+		log.Printf("napletd: fleet agent registering with master %s", *masterAddr)
+	}
+
 	if *metricsAddr != "" {
 		start := time.Now()
 		telem.GaugeFunc("naplet_process_uptime_seconds", "seconds since the daemon started", func() float64 {
@@ -193,9 +238,28 @@ func main() {
 			}
 			return nil
 		})
+		// /readyz is stricter than /healthz: liveness says the process
+		// runs; readiness says it may take traffic. Dock restore and
+		// directory registration complete inside server.New, before this
+		// listener exists, so readiness adds: not draining, and (when a
+		// master is configured) fleet registration has succeeded.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+			if srv.Draining() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			if agent != nil && !agent.Registered() {
+				http.Error(w, "awaiting fleet registration", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ready\n"))
+		})
 		go func() {
 			log.Printf("napletd: telemetry on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, handler); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("napletd: telemetry server: %v", err)
 			}
 		}()

@@ -1,0 +1,92 @@
+// Command napletmaster runs the fleet control plane for a naplet space:
+// napletd daemons started with -master register here and heartbeat; the
+// master judges liveness, schedules launch waves across the healthy
+// docks, fans dock events (hop spans, nav-log entries) out to
+// subscribers, and applies watchdog backpressure to nodes drowning in
+// disk or event traffic.
+//
+// A small fleet session:
+//
+//	napletmaster -listen 127.0.0.1:7100 &
+//	napletd -listen 127.0.0.1:7001 -master 127.0.0.1:7100 &
+//	napletd -listen 127.0.0.1:7002 -master 127.0.0.1:7100 &
+//	napletctl -master 127.0.0.1:7100 fleet nodes
+//	napletctl -master 127.0.0.1:7100 fleet wave -codebase example.Greeter \
+//	    -routes "seq(127.0.0.1:7002)" -count 4
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7100", "TCP address to serve the fleet protocol on")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /healthz (empty = disabled)")
+	heartbeatEvery := flag.Duration("heartbeat-every", time.Second, "fleet heartbeat cadence; registering nodes adopt it")
+	statusPoll := flag.Duration("status-poll", 200*time.Millisecond, "naplet status polling cadence while a wave waits on launches")
+	subBuf := flag.Int("sub-buf", 1024, "default event-subscriber ring capacity")
+	dropSlow := flag.Bool("drop-slow", false, "drop slow event subscribers instead of down-sampling their stream")
+	diskWatermark := flag.Uint64("disk-watermark", 0, "per-node dock disk watermark in bytes; a node over it stops receiving wave launches (0 = off)")
+	ingestWatermark := flag.Float64("ingest-watermark", 0, "per-node event ingest watermark in bytes/second (0 = off)")
+	flag.Parse()
+
+	tcp := transport.NewTCPFabric()
+	telem := telemetry.NewRegistry()
+	tcp.Instrument(telem)
+
+	policy := fleet.DownSample
+	if *dropSlow {
+		policy = fleet.DropSlow
+	}
+	m, err := fleet.NewMaster(fleet.Config{
+		Name:             *listen,
+		Fabric:           tcp,
+		HeartbeatEvery:   *heartbeatEvery,
+		StatusPoll:       *statusPoll,
+		SubscriberBuf:    *subBuf,
+		SubscriberPolicy: policy,
+		Watchdog: fleet.WatchdogConfig{
+			DiskWatermarkBytes: *diskWatermark,
+			IngestWatermarkBps: *ingestWatermark,
+		},
+		Telemetry: telem,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		start := time.Now()
+		telem.GaugeFunc("naplet_process_uptime_seconds", "seconds since the daemon started", func() float64 {
+			return time.Since(start).Seconds()
+		})
+		telem.GaugeFunc("naplet_process_goroutines", "goroutines in the daemon process", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+		handler := telemetry.Handler(telem, nil, func() error { return nil })
+		go func() {
+			log.Printf("napletmaster: telemetry on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, handler); err != nil {
+				log.Printf("napletmaster: telemetry server: %v", err)
+			}
+		}()
+	}
+
+	log.Printf("napletmaster: fleet control plane on %s (heartbeat %s)", *listen, *heartbeatEvery)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("napletmaster: shutting down")
+	m.Close()
+}

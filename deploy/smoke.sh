@@ -1,0 +1,41 @@
+#!/bin/sh
+# Fleet smoke test against the deploy/docker-compose.yml topology: the
+# compose --wait already gated on every dock's /readyz, so the fleet is
+# registered. List the nodes, run a launch wave touring all three docks,
+# and assert every launch completed with the full tour.
+set -eu
+
+compose="docker compose -f deploy/docker-compose.yml"
+ctl="$compose exec -T master napletctl -master master:7100"
+
+echo "== fleet nodes =="
+nodes=$($ctl fleet nodes)
+echo "$nodes"
+for d in dock1:7001 dock2:7001 dock3:7001; do
+    echo "$nodes" | grep -q "$d.*alive" || {
+        echo "smoke: $d not alive in the node table" >&2
+        exit 1
+    }
+done
+
+echo "== launch wave =="
+want_count=4
+want_tour="toured: dock1:7001 -> dock2:7001 -> dock3:7001"
+wave=$($ctl fleet wave -name smoke -codebase example.Greeter \
+    -routes "seq(dock1:7001,dock2:7001,dock3:7001)" -count $want_count \
+    -timeout 2m)
+echo "$wave"
+
+echo "$wave" | grep -q "completed $want_count/$want_count (failed 0" || {
+    echo "smoke: wave did not complete cleanly" >&2
+    exit 1
+}
+# Exactly-once landings: every launch reports the full tour, each dock
+# visited once, in itinerary order.
+got=$(echo "$wave" | grep -c "completed — $want_tour" || true)
+if [ "$got" != "$want_count" ]; then
+    echo "smoke: want $want_count tours '$want_tour', got $got" >&2
+    exit 1
+fi
+
+echo "smoke: ok"

@@ -139,6 +139,28 @@ func (s *Store) Dir() string { return s.dir }
 // Path returns the live snapshot file path.
 func (s *Store) Path() string { return filepath.Join(s.dir, FileName) }
 
+// DiskUsage reports the bytes the dock currently occupies on disk: the
+// sum of every regular file under the store directory (the live snapshot
+// plus any in-flight temporary). Fleet heartbeats carry this figure so
+// the master's watchdog can stop routing waves at an over-watermark dock.
+func (s *Store) DiskUsage() (uint64, error) {
+	var total uint64
+	err := filepath.WalkDir(s.dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			// The file vanished between listing and stat (an atomic
+			// replace); usage is a snapshot, not an audit.
+			return nil
+		}
+		total += uint64(info.Size())
+		return nil
+	})
+	return total, err
+}
+
 // SetSaveVersion selects the payload format Save writes: VersionGob or
 // Version. New stores default to Version; the knob exists so recovery
 // tests (and downgrades) can exercise both formats.

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func testEvent(i int) Event {
+	return Event{
+		Seq:     uint64(i),
+		Node:    "dock1",
+		Kind:    EventSpan,
+		Naplet:  "naplet-7@home",
+		Hop:     i,
+		From:    "s1",
+		To:      "s2",
+		At:      time.Unix(1700000000+int64(i), 123456789).UTC(),
+		Outcome: "ok",
+		Detail:  "detail",
+		Bytes:   4096 + i,
+		Elapsed: time.Duration(i) * time.Millisecond,
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	for _, ev := range []Event{testEvent(3), {}, {Kind: EventTrap, Detail: "boom: division by zero"}} {
+		buf := ev.AppendBinary(make([]byte, 0, ev.EncodedSize()))
+		if len(buf) != ev.EncodedSize() {
+			t.Fatalf("EncodedSize = %d, encoded %d bytes", ev.EncodedSize(), len(buf))
+		}
+		got, rest, err := decodeEvent(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if !got.At.Equal(ev.At) {
+			t.Fatalf("At = %v, want %v", got.At, ev.At)
+		}
+		got.At, ev.At = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(got, ev) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, ev)
+		}
+	}
+}
+
+func TestMinEventSize(t *testing.T) {
+	// The DecCount allocation guard must never exceed a real empty
+	// event's wire size, or valid batches would be rejected.
+	empty := Event{}
+	if got := len(empty.AppendBinary(nil)); got < minEventSize {
+		t.Fatalf("empty event encodes to %d bytes < minEventSize %d", got, minEventSize)
+	}
+}
+
+func TestFleetBodyCodecRoundTrips(t *testing.T) {
+	cases := []struct {
+		name string
+		in   interface {
+			wire.BinaryBody
+			Decode([]byte) error
+		}
+		out interface{ Decode([]byte) error }
+	}{
+		{"register", &RegisterBody{Node: "dock1:7001", MetricsAddr: ":8081", Labels: []string{"rack=a", "zone=1"}}, &RegisterBody{}},
+		{"register/empty", &RegisterBody{Node: "d"}, &RegisterBody{}},
+		{"registerReply", &RegisterReplyBody{OK: true, HeartbeatEvery: 1500 * time.Millisecond}, &RegisterReplyBody{}},
+		{"registerReply/err", &RegisterReplyBody{Err: "full"}, &RegisterReplyBody{}},
+		{"heartbeat", &HeartbeatBody{Node: "dock1", Seq: 42, Residents: 3, DiskUsedBytes: 1 << 30, Draining: true}, &HeartbeatBody{}},
+		{"heartbeatReply", &HeartbeatReplyBody{OK: true, Throttle: true}, &HeartbeatReplyBody{}},
+		{"heartbeatReply/unknown", &HeartbeatReplyBody{Err: `fleet: unknown node "d"`}, &HeartbeatReplyBody{}},
+		{"events", &EventBatchBody{Node: "dock2", Events: []Event{testEvent(1), testEvent(2), {}}}, &EventBatchBody{}},
+		{"events/empty", &EventBatchBody{Node: "dock2"}, &EventBatchBody{}},
+		{"eventAck", &EventAckBody{OK: true, Throttle: true}, &EventAckBody{}},
+		{"subscribe", &SubscribeBody{ID: "sub-9", Buf: 2048, Max: 128}, &SubscribeBody{}},
+		{"subscribe/create", &SubscribeBody{}, &SubscribeBody{}},
+		{"subscribeReply", &SubscribeReplyBody{ID: "sub-9", Events: []Event{testEvent(5)}, Dropped: 17, Closed: true, Err: "x"}, &SubscribeReplyBody{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.in.AppendBinary(make([]byte, 0, tc.in.EncodedSize()))
+			if len(buf) != tc.in.EncodedSize() {
+				t.Fatalf("EncodedSize = %d, encoded %d bytes", tc.in.EncodedSize(), len(buf))
+			}
+			if err := tc.out.Decode(buf); err != nil {
+				t.Fatal(err)
+			}
+			if !equalIgnoringTime(tc.out, tc.in) {
+				t.Fatalf("round trip:\n got %+v\nwant %+v", tc.out, tc.in)
+			}
+		})
+	}
+}
+
+// equalIgnoringTime compares two body values, comparing time fields with
+// Equal (binary codecs round-trip wall-clock time, not monotonic or
+// location identity).
+func equalIgnoringTime(a, b any) bool {
+	ja, jb := normalizeTimes(a), normalizeTimes(b)
+	return reflect.DeepEqual(ja, jb)
+}
+
+func normalizeTimes(v any) any {
+	switch b := v.(type) {
+	case *EventBatchBody:
+		cp := *b
+		cp.Events = normalizeEvents(b.Events)
+		return cp
+	case *SubscribeReplyBody:
+		cp := *b
+		cp.Events = normalizeEvents(b.Events)
+		return cp
+	default:
+		return reflect.ValueOf(v).Elem().Interface()
+	}
+}
+
+func normalizeEvents(evs []Event) []Event {
+	out := make([]Event, len(evs))
+	for i, ev := range evs {
+		ev.At = ev.At.Round(0).UTC()
+		out[i] = ev
+	}
+	return out
+}
+
+func TestFleetBodyGobFallback(t *testing.T) {
+	// A frame from a sender predating the binary codec decodes via gob.
+	in := HeartbeatBody{Node: "old-dock", Seq: 7, Residents: 1}
+	payload, err := wire.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isBinaryBody(payload) {
+		t.Fatal("gob payload sniffed as binary")
+	}
+	var out HeartbeatBody
+	if err := out.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("gob fallback: got %+v, want %+v", out, in)
+	}
+}
+
+func TestEventBatchDecodeRejectsHostileCount(t *testing.T) {
+	// A forged huge count must fail before allocation, not OOM.
+	b := []byte{bodyCodecVersion}
+	b = wire.AppendString(b, "evil")
+	b = wire.AppendUvarint(b, 1<<40)
+	var out EventBatchBody
+	if err := out.Decode(b); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+}

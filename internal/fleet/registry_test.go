@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+)
+
+// testRegistry builds a registry on a fake clock with the chaos-standard
+// 2/4 suspect/dead thresholds.
+func testRegistry(t *testing.T, wd *Watchdog) (*Registry, *time.Time) {
+	t.Helper()
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	det := health.New(health.Config{SuspectThreshold: 2, DeadThreshold: 4, Clock: clock})
+	r := NewRegistry(RegistryConfig{
+		HeartbeatEvery: time.Second,
+		Health:         det,
+		Watchdog:       wd,
+		Clock:          clock,
+	})
+	return r, &now
+}
+
+func TestRegistryRegisterAndHeartbeat(t *testing.T) {
+	r, now := testRegistry(t, nil)
+	if err := r.Register(RegisterBody{Node: "d1", MetricsAddr: ":8081", Labels: []string{"zone=a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(RegisterBody{}); err == nil {
+		t.Fatal("nameless registration accepted")
+	}
+	*now = now.Add(time.Second)
+	if err := r.Heartbeat(HeartbeatBody{Node: "d1", Seq: 1, Residents: 3, DiskUsedBytes: 77}); err != nil {
+		t.Fatal(err)
+	}
+	// Reordered (stale) beacons are dropped without error.
+	if err := r.Heartbeat(HeartbeatBody{Node: "d1", Seq: 1, Residents: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat(HeartbeatBody{Node: "ghost", Seq: 1}); err == nil {
+		t.Fatal("unknown node heartbeat accepted")
+	}
+	ns := r.Nodes()
+	if len(ns) != 1 {
+		t.Fatalf("nodes = %d", len(ns))
+	}
+	n := ns[0]
+	if n.Name != "d1" || n.Residents != 3 || n.DiskUsedBytes != 77 || n.State != "alive" {
+		t.Fatalf("node = %+v", n)
+	}
+	if !reflect.DeepEqual(n.Labels, []string{"zone=a"}) {
+		t.Fatalf("labels = %v", n.Labels)
+	}
+	if got := r.Schedulable(); len(got) != 1 || got[0] != "d1" {
+		t.Fatalf("schedulable = %v", got)
+	}
+}
+
+func TestRegistryLivenessSweep(t *testing.T) {
+	r, now := testRegistry(t, nil)
+	for _, n := range []string{"d1", "d2"} {
+		if err := r.Register(RegisterBody{Node: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// d1 heartbeats; d2 goes silent.
+	for i := 1; i <= 6; i++ {
+		*now = now.Add(time.Second)
+		if err := r.Heartbeat(HeartbeatBody{Node: "d1", Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r.CheckLiveness()
+		// The sweep is idempotent: extra sweeps within the same interval
+		// report nothing new.
+		r.CheckLiveness()
+	}
+	// After 6s of silence (minus one interval grace) d2 has missed 5
+	// intervals — past the dead threshold of 4.
+	if !r.Dead("d2") {
+		t.Fatal("silent node not dead")
+	}
+	if r.Dead("d1") {
+		t.Fatal("heartbeating node dead")
+	}
+	if got := r.Schedulable(); len(got) != 1 || got[0] != "d1" {
+		t.Fatalf("schedulable = %v", got)
+	}
+	// An unknown node is no launch target.
+	if !r.Dead("never-registered") {
+		t.Fatal("unknown node not treated as dead")
+	}
+
+	// The dead node re-registers: back alive after enough successes.
+	for i := 0; i < 8; i++ {
+		if err := r.Register(RegisterBody{Node: "d2"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Dead("d2") {
+		t.Fatal("re-registered node still dead")
+	}
+	if got := r.Schedulable(); len(got) != 2 {
+		t.Fatalf("schedulable = %v", got)
+	}
+}
+
+func TestRegistryDrainingExcludedFromScheduling(t *testing.T) {
+	r, now := testRegistry(t, nil)
+	for _, n := range []string{"d1", "d2"} {
+		if err := r.Register(RegisterBody{Node: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	*now = now.Add(time.Second)
+	if err := r.Heartbeat(HeartbeatBody{Node: "d2", Seq: 1, Draining: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schedulable(); len(got) != 1 || got[0] != "d1" {
+		t.Fatalf("schedulable = %v", got)
+	}
+	// Draining is not dead: the scheduler just stops placing new work.
+	if r.Dead("d2") {
+		t.Fatal("draining node presumed dead")
+	}
+}
+
+func TestRegistryWatchdogGatesScheduling(t *testing.T) {
+	now := time.Unix(0, 0)
+	wd := NewWatchdog(WatchdogConfig{
+		DiskWatermarkBytes: 1000,
+		Clock:              func() time.Time { return now },
+	})
+	r, clk := testRegistry(t, wd)
+	for _, n := range []string{"d1", "d2"} {
+		if err := r.Register(RegisterBody{Node: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	*clk = clk.Add(time.Second)
+	// d2's heartbeat reports disk over the watermark; the registry feeds
+	// the watchdog and scheduling excludes it.
+	if err := r.Heartbeat(HeartbeatBody{Node: "d2", Seq: 1, DiskUsedBytes: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schedulable(); len(got) != 1 || got[0] != "d1" {
+		t.Fatalf("schedulable = %v", got)
+	}
+	st := r.Nodes()
+	if !st[1].Over {
+		t.Fatalf("d2 status not over watermark: %+v", st[1])
+	}
+	// Disk freed: next heartbeat releases the latch.
+	if err := r.Heartbeat(HeartbeatBody{Node: "d2", Seq: 2, DiskUsedBytes: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schedulable(); len(got) != 2 {
+		t.Fatalf("schedulable = %v", got)
+	}
+}

@@ -1,0 +1,453 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Binary codecs for the fleet-protocol bodies, following the migration
+// codec conventions (DESIGN.md §11): a leading version byte, no
+// reflection, exact-size allocation; decoders sniff the version byte and
+// fall back to gob for frames from senders predating the codec. The
+// register/heartbeat/event bodies are the hot path — hundreds of docks
+// ticking every second — so they get hand-rolled codecs; the low-rate
+// operator bodies (waves, node listings) stay gob via wire.NewFrame,
+// where type flexibility matters more than bytes.
+
+// bodyCodecVersion is the leading version byte of binary protocol bodies.
+const bodyCodecVersion = 1
+
+// isBinaryBody reports whether a payload carries the binary body codec.
+func isBinaryBody(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == bodyCodecVersion
+}
+
+// RegisterBody announces a dock to the master (KindFleetRegister).
+type RegisterBody struct {
+	// Node is the dock's fabric address — the name waves launch at.
+	Node string
+	// MetricsAddr is the dock's HTTP telemetry endpoint (may be empty).
+	MetricsAddr string
+	// Labels are free-form operator tags.
+	Labels []string
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *RegisterBody) EncodedSize() int {
+	n := 1 + wire.SizeString(b.Node) + wire.SizeString(b.MetricsAddr) +
+		wire.SizeUvarint(uint64(len(b.Labels)))
+	for _, l := range b.Labels {
+		n += wire.SizeString(l)
+	}
+	return n
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *RegisterBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendString(dst, b.Node)
+	dst = wire.AppendString(dst, b.MetricsAddr)
+	dst = wire.AppendUvarint(dst, uint64(len(b.Labels)))
+	for _, l := range b.Labels {
+		dst = wire.AppendString(dst, l)
+	}
+	return dst
+}
+
+// Decode parses a register payload, binary or legacy gob.
+func (b *RegisterBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Node, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.MetricsAddr, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	n, rest, err := wire.DecCount(rest, 1)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		b.Labels = make([]string, n)
+		for i := range b.Labels {
+			if b.Labels[i], rest, err = wire.DecString(rest); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RegisterReplyBody acknowledges a registration.
+type RegisterReplyBody struct {
+	OK  bool
+	Err string
+	// HeartbeatEvery is the cadence the master expects; the agent adopts
+	// it so one knob (the master's) paces the whole fleet.
+	HeartbeatEvery time.Duration
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *RegisterReplyBody) EncodedSize() int {
+	return 1 + wire.SizeBool + wire.SizeString(b.Err) +
+		wire.SizeVarint(int64(b.HeartbeatEvery))
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *RegisterReplyBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.OK)
+	dst = wire.AppendString(dst, b.Err)
+	return wire.AppendVarint(dst, int64(b.HeartbeatEvery))
+}
+
+// Decode parses a register reply, binary or legacy gob.
+func (b *RegisterReplyBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.OK, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Err, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	hb, _, err := wire.DecVarint(rest)
+	if err != nil {
+		return err
+	}
+	b.HeartbeatEvery = time.Duration(hb)
+	return nil
+}
+
+// HeartbeatBody is one liveness beacon from a dock (KindFleetHeartbeat).
+type HeartbeatBody struct {
+	// Node is the reporting dock.
+	Node string
+	// Seq increments per heartbeat, so reordered beacons are detectable.
+	Seq uint64
+	// Residents is the dock's current resident-naplet count.
+	Residents int
+	// DiskUsedBytes is the dock snapshot store's on-disk footprint.
+	DiskUsedBytes uint64
+	// Draining reports a graceful shutdown in progress.
+	Draining bool
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *HeartbeatBody) EncodedSize() int {
+	return 1 + wire.SizeString(b.Node) + wire.SizeUvarint(b.Seq) +
+		wire.SizeUvarint(uint64(b.Residents)) + wire.SizeUvarint(b.DiskUsedBytes) +
+		wire.SizeBool
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *HeartbeatBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendString(dst, b.Node)
+	dst = wire.AppendUvarint(dst, b.Seq)
+	dst = wire.AppendUvarint(dst, uint64(b.Residents))
+	dst = wire.AppendUvarint(dst, b.DiskUsedBytes)
+	return wire.AppendBool(dst, b.Draining)
+}
+
+// Decode parses a heartbeat payload, binary or legacy gob.
+func (b *HeartbeatBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Node, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	if b.Seq, rest, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	var res uint64
+	if res, rest, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	b.Residents = int(res)
+	if b.DiskUsedBytes, rest, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	b.Draining, _, err = wire.DecBool(rest)
+	return err
+}
+
+// HeartbeatReplyBody acknowledges a heartbeat.
+type HeartbeatReplyBody struct {
+	OK bool
+	// Err non-empty with OK false means the master does not know this
+	// node (it restarted); the agent re-registers.
+	Err string
+	// Throttle asks the agent to down-sample its event stream: the
+	// watchdog judged this node over an ingest or disk watermark.
+	Throttle bool
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *HeartbeatReplyBody) EncodedSize() int {
+	return 1 + wire.SizeBool + wire.SizeString(b.Err) + wire.SizeBool
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *HeartbeatReplyBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.OK)
+	dst = wire.AppendString(dst, b.Err)
+	return wire.AppendBool(dst, b.Throttle)
+}
+
+// Decode parses a heartbeat reply, binary or legacy gob.
+func (b *HeartbeatReplyBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.OK, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	if b.Err, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	b.Throttle, _, err = wire.DecBool(rest)
+	return err
+}
+
+// EventBatchBody carries a batch of events from a dock
+// (KindFleetEvents). The master stamps every event's Node from the
+// envelope before publishing.
+type EventBatchBody struct {
+	Node   string
+	Events []Event
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *EventBatchBody) EncodedSize() int {
+	n := 1 + wire.SizeString(b.Node) + wire.SizeUvarint(uint64(len(b.Events)))
+	for i := range b.Events {
+		n += b.Events[i].EncodedSize()
+	}
+	return n
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *EventBatchBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendString(dst, b.Node)
+	dst = wire.AppendUvarint(dst, uint64(len(b.Events)))
+	for i := range b.Events {
+		dst = b.Events[i].AppendBinary(dst)
+	}
+	return dst
+}
+
+// minEventSize is the smallest possible encoded Event (every string
+// empty), the allocation guard DecCount uses against hostile counts.
+const minEventSize = 12
+
+// Decode parses an event batch, binary or legacy gob.
+func (b *EventBatchBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.Node, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	n, rest, err := wire.DecCount(rest, minEventSize)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		b.Events = make([]Event, n)
+		for i := range b.Events {
+			if b.Events[i], rest, err = decodeEvent(rest); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EventAckBody acknowledges an event batch.
+type EventAckBody struct {
+	OK bool
+	// Throttle mirrors the heartbeat backpressure signal.
+	Throttle bool
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *EventAckBody) EncodedSize() int { return 1 + 2*wire.SizeBool }
+
+// AppendBinary appends the body's binary form to dst.
+func (b *EventAckBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendBool(dst, b.OK)
+	return wire.AppendBool(dst, b.Throttle)
+}
+
+// Decode parses an event ack, binary or legacy gob.
+func (b *EventAckBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.OK, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	b.Throttle, _, err = wire.DecBool(rest)
+	return err
+}
+
+// SubscribeBody creates or polls an event subscription
+// (KindFleetSubscribe). Subscribers pull: the request/reply transport
+// cannot push, so a slow subscriber slows only its own polling loop —
+// never the master's ingest.
+type SubscribeBody struct {
+	// ID is the subscription handle; empty creates a new subscription.
+	ID string
+	// Buf hints the per-subscriber ring capacity on creation (clamped by
+	// the master; 0 takes the master's default).
+	Buf uint32
+	// Max bounds the events returned by one poll (0 = master default).
+	Max uint32
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *SubscribeBody) EncodedSize() int {
+	return 1 + wire.SizeString(b.ID) + wire.SizeUvarint(uint64(b.Buf)) +
+		wire.SizeUvarint(uint64(b.Max))
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *SubscribeBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendString(dst, b.ID)
+	dst = wire.AppendUvarint(dst, uint64(b.Buf))
+	return wire.AppendUvarint(dst, uint64(b.Max))
+}
+
+// Decode parses a subscribe payload, binary or legacy gob.
+func (b *SubscribeBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.ID, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	var v uint64
+	if v, rest, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	b.Buf = uint32(v)
+	if v, _, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	b.Max = uint32(v)
+	return nil
+}
+
+// SubscribeReplyBody answers a subscribe/poll.
+type SubscribeReplyBody struct {
+	// ID echoes (or assigns) the subscription handle.
+	ID string
+	// Events are the drained events, oldest first.
+	Events []Event
+	// Dropped counts events this subscription lost to down-sampling.
+	Dropped uint64
+	// Closed reports the subscription was dropped for falling behind;
+	// the handle is dead and polling should stop.
+	Closed bool
+	Err    string
+}
+
+// EncodedSize returns the exact encoded size of the body.
+func (b *SubscribeReplyBody) EncodedSize() int {
+	n := 1 + wire.SizeString(b.ID) + wire.SizeUvarint(uint64(len(b.Events))) +
+		wire.SizeUvarint(b.Dropped) + wire.SizeBool + wire.SizeString(b.Err)
+	for i := range b.Events {
+		n += b.Events[i].EncodedSize()
+	}
+	return n
+}
+
+// AppendBinary appends the body's binary form to dst.
+func (b *SubscribeReplyBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, bodyCodecVersion)
+	dst = wire.AppendString(dst, b.ID)
+	dst = wire.AppendUvarint(dst, uint64(len(b.Events)))
+	for i := range b.Events {
+		dst = b.Events[i].AppendBinary(dst)
+	}
+	dst = wire.AppendUvarint(dst, b.Dropped)
+	dst = wire.AppendBool(dst, b.Closed)
+	return wire.AppendString(dst, b.Err)
+}
+
+// Decode parses a subscribe reply, binary or legacy gob.
+func (b *SubscribeReplyBody) Decode(payload []byte) error {
+	if !isBinaryBody(payload) {
+		return wire.Unmarshal(payload, b)
+	}
+	rest := payload[1:]
+	var err error
+	if b.ID, rest, err = wire.DecString(rest); err != nil {
+		return err
+	}
+	n, rest, err := wire.DecCount(rest, minEventSize)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		b.Events = make([]Event, n)
+		for i := range b.Events {
+			if b.Events[i], rest, err = decodeEvent(rest); err != nil {
+				return err
+			}
+		}
+	}
+	if b.Dropped, rest, err = wire.DecUvarint(rest); err != nil {
+		return err
+	}
+	if b.Closed, rest, err = wire.DecBool(rest); err != nil {
+		return err
+	}
+	b.Err, _, err = wire.DecString(rest)
+	return err
+}
+
+// WaveBody carries a wave specification to the master (KindFleetWave).
+// Operator-frequency and structurally rich, so it stays gob.
+type WaveBody struct {
+	Spec WaveSpec
+}
+
+// WaveReplyBody answers a wave run with its aggregated result.
+type WaveReplyBody struct {
+	OK     bool
+	Err    string
+	Result *WaveResult
+}
+
+// NodesBody requests the fleet node listing (KindFleetNodes).
+type NodesBody struct{}
+
+// NodesReplyBody answers with every registered node's status.
+type NodesReplyBody struct {
+	Nodes []NodeStatus
+}

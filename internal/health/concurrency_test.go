@@ -1,0 +1,86 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDetectorConcurrentReportsAndSnapshots hammers one detector from
+// many goroutines mixing ReportSuccess/ReportFailure with State/Allow
+// and the Trail/Peers snapshots, under the -race scope. The invariants:
+// snapshots never tear (bounded trail, valid states, transitions walk
+// the alive/suspect/dead lattice), and an all-success epilogue leaves
+// every peer alive.
+func TestDetectorConcurrentReportsAndSnapshots(t *testing.T) {
+	d := New(Config{SuspectThreshold: 2, DeadThreshold: 4, TrailCap: 64})
+	const (
+		goroutines = 16
+		peers      = 8
+		ops        = 500
+	)
+	peerName := func(i int) string { return fmt.Sprintf("peer-%d", i%peers) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				addr := peerName(g + i)
+				switch (g + i) % 5 {
+				case 0:
+					d.ReportFailure(addr)
+				case 1, 2:
+					d.ReportSuccess(addr)
+				case 3:
+					d.State(addr)
+					d.Allow(addr)
+				case 4:
+					// Snapshot while the reporters churn.
+					trail := d.Trail()
+					if len(trail) > 64 {
+						t.Errorf("trail grew past its cap: %d", len(trail))
+						return
+					}
+					for _, tr := range trail {
+						if !validState(tr.From) || !validState(tr.To) || tr.From == tr.To {
+							t.Errorf("invalid transition %+v", tr)
+							return
+						}
+						if tr.Peer == "" || tr.At.IsZero() {
+							t.Errorf("torn transition %+v", tr)
+							return
+						}
+					}
+					for addr, st := range d.Peers() {
+						if addr == "" || !validState(st) {
+							t.Errorf("invalid peer snapshot %q=%v", addr, st)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Epilogue: enough successes walk every peer back to alive.
+	for i := 0; i < peers; i++ {
+		for j := 0; j < 8; j++ {
+			d.ReportSuccess(peerName(i))
+		}
+	}
+	for addr, st := range d.Peers() {
+		if st != StateAlive {
+			t.Fatalf("%s = %v after all-success epilogue", addr, st)
+		}
+	}
+	if len(d.Peers()) != peers {
+		t.Fatalf("peers = %d, want %d", len(d.Peers()), peers)
+	}
+}
+
+func validState(s State) bool {
+	return s == StateAlive || s == StateSuspect || s == StateDead
+}

@@ -94,6 +94,7 @@ func (s *Server) Launch(ctx context.Context, opts LaunchOptions) (id.NapletID, e
 	s.nav.RegisterEvent(ctx, rec, directory.Arrival, s.name, "", now)
 	s.msgr.CreateMailbox(nid)
 	s.mgr.SetStatus(nid, manager.StatusRunning, "")
+	s.emit("launch", rec, s.name, s.name, opts.Codebase)
 
 	s.wg.Add(1)
 	go func() {
@@ -147,6 +148,7 @@ func (s *Server) land(rec *naplet.Record, source string) {
 		return
 	default:
 	}
+	s.emit("arrival", rec, source, s.name, "")
 	s.wg.Add(1)
 	defer s.wg.Done()
 	s.lifecycle(rec, true, nil)
@@ -241,6 +243,7 @@ func (s *Server) advance(g *monitor.Group, nctx *naplet.Context, behavior naplet
 			// Release residency before telling the owner: when WaitDone
 			// returns, the footprints and traces are already final.
 			s.cleanup(rec, true)
+			s.emit("complete", rec, s.name, rec.Home, "")
 			s.reportStatus(rec, manager.StatusCompleted, "")
 			return
 
@@ -319,6 +322,7 @@ func (s *Server) applyFailover(rec *naplet.Record, v itinerary.Visit, alts []*it
 			At:     s.clock(),
 		})
 		s.failovers.Inc()
+		s.emit("reroute", rec, s.name, v.Server, policy)
 	}
 	switch rec.Failover {
 	case naplet.FailoverAlternates:
@@ -396,6 +400,7 @@ func (s *Server) evacuateNaplet(ev itinerary.Evaluator, rec *naplet.Record) {
 		At:     s.clock(),
 	})
 	s.failovers.Inc()
+	s.emit("reroute", rec, s.name, dest, "evacuate")
 	tid := s.nav.NewTransferID()
 	s.dockResident(rec, dock.PhaseDeparting, dest, tid)
 	if err := s.dispatchWithRetryID(rec, dest, tid); err != nil {
@@ -423,6 +428,7 @@ func (s *Server) departed(rec *naplet.Record, dest string) {
 	pctx, pcancel := context.WithTimeout(context.Background(), 5*time.Second)
 	s.msgr.PushMigration(pctx, rec.ID, dest)
 	pcancel()
+	s.emit("depart", rec, s.name, dest, "")
 	s.reportStatus(rec, manager.StatusInTransit, "")
 }
 
@@ -569,6 +575,7 @@ func (s *Server) forkAll(rec *naplet.Record, branches []*itinerary.Pattern) erro
 // manager and the naplet's life cycle ends here (§5.2: the monitor "sets
 // traps for its execution exceptions").
 func (s *Server) trap(rec *naplet.Record, err error) {
+	s.emit("trap", rec, s.name, rec.Home, err.Error())
 	s.reportStatus(rec, manager.StatusTrapped, err.Error())
 }
 

@@ -144,6 +144,9 @@ type Server struct {
 	dockStore   *dock.Store
 	dockEntries map[string]*dock.Resident
 
+	sinkMu sync.RWMutex
+	sink   func(Event)
+
 	draining atomic.Bool
 
 	wg     sync.WaitGroup
@@ -335,6 +338,57 @@ func (s *Server) Health() *health.Detector { return s.hd }
 // Draining reports whether the server has stopped accepting new work
 // (Drain was called). A health endpoint should turn not-ready on this.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Event is one nav-log observation the server exports through the sink
+// registered with SetEventSink: launches, arrivals, departures,
+// completions, traps, and itinerary reroutes — the live counterpart of
+// the NavigationLog entries the naplet itself carries.
+type Event struct {
+	// Kind is "launch", "arrival", "depart", "complete", "trap", or
+	// "reroute".
+	Kind string
+	// Naplet is the subject naplet's identifier.
+	Naplet string
+	// Hop is the naplet's navigation-log length when the event fired.
+	Hop int
+	// From and To are the servers involved: the source and this server
+	// for arrivals, this server and the destination for departures.
+	From, To string
+	// At is the server-clock event time.
+	At time.Time
+	// Detail carries the error text (traps), the failover policy
+	// (reroutes), or the codebase (launches).
+	Detail string
+}
+
+// SetEventSink registers a callback invoked with every nav-log event the
+// visit engine produces. The sink runs on lifecycle goroutines and must
+// not block; pass nil to detach. Registered after construction so the
+// consumer (the fleet agent) can be wired to the already-attached node.
+func (s *Server) SetEventSink(fn func(Event)) {
+	s.sinkMu.Lock()
+	s.sink = fn
+	s.sinkMu.Unlock()
+}
+
+// emit hands one nav-log event to the registered sink, if any.
+func (s *Server) emit(kind string, rec *naplet.Record, from, to, detail string) {
+	s.sinkMu.RLock()
+	sink := s.sink
+	s.sinkMu.RUnlock()
+	if sink == nil {
+		return
+	}
+	sink(Event{
+		Kind:   kind,
+		Naplet: rec.ID.String(),
+		Hop:    rec.Log.Len(),
+		From:   from,
+		To:     to,
+		At:     s.clock(),
+		Detail: detail,
+	})
+}
 
 // Close detaches the server and waits for resident visit engines.
 func (s *Server) Close() error {

@@ -63,6 +63,7 @@ type HopTracer struct {
 	ring []HopSpan
 	next int
 	full bool
+	sink func(HopSpan)
 }
 
 // NewHopTracer builds a tracer retaining up to capacity spans (≤ 0 means
@@ -74,16 +75,31 @@ func NewHopTracer(capacity int) *HopTracer {
 	return &HopTracer{ring: make([]HopSpan, capacity)}
 }
 
-// Record appends a span, evicting the oldest when the ring is full.
+// Record appends a span, evicting the oldest when the ring is full, and
+// hands a copy to the registered sink, if any.
 func (t *HopTracer) Record(s HopSpan) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.ring[t.next] = s
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.full = true
 	}
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(s)
+	}
+}
+
+// SetSink registers a callback invoked with every span Record retains —
+// the live export feed the fleet agent streams to the master. The sink is
+// called outside the tracer lock but on the migration path, so it must
+// not block; pass nil to detach.
+func (t *HopTracer) SetSink(fn func(HopSpan)) {
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
 }
 
 // all returns the retained spans oldest-first. Callers hold t.mu.

@@ -72,6 +72,15 @@ const (
 	KindLocatorInvalidate Kind = "locator.invalidate"
 	KindServiceInvoke     Kind = "resource.service-invoke"
 	KindServiceReply      Kind = "resource.service-reply"
+
+	// Fleet control plane (napletd <-> napletmaster, napletctl <-> master).
+	KindFleetRegister  Kind = "fleet.register"
+	KindFleetHeartbeat Kind = "fleet.heartbeat"
+	KindFleetEvents    Kind = "fleet.events"
+	KindFleetSubscribe Kind = "fleet.subscribe"
+	KindFleetWave      Kind = "fleet.wave"
+	KindFleetNodes     Kind = "fleet.nodes"
+	KindFleetReply     Kind = "fleet.reply"
 )
 
 // Frame is the unit of inter-server communication.
