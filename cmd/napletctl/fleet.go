@@ -104,6 +104,7 @@ func fleetWave(node transport.Node, master string, args []string) {
 		Failover:   *failover,
 		PerNodeCap: *perNodeCap,
 		Retries:    *retries,
+		Timeout:    *timeout,
 	}
 	for _, r := range strings.Split(*routes, ";") {
 		if r = strings.TrimSpace(r); r != "" {
@@ -118,7 +119,9 @@ func fleetWave(node transport.Node, master string, args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	// The call outlives the wave deadline by a margin so the master's
+	// deadline fires first and the partial result still comes back.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout+10*time.Second)
 	defer cancel()
 	reply, err := node.Call(ctx, master, f)
 	if err != nil {
@@ -183,11 +186,15 @@ func fleetWatch(node transport.Node, master string, args []string) {
 
 	sub := subscribe(&fleet.SubscribeBody{Buf: uint32(*buf)})
 	fmt.Fprintf(os.Stderr, "watching fleet events (subscription %s; ^C to stop)\n", sub.ID)
+	// Dropped is cumulative per subscription; report only the delta so
+	// one down-sampled burst is not re-announced on every poll.
+	var lastDropped uint64
 	for {
 		rb := subscribe(&fleet.SubscribeBody{ID: sub.ID})
-		if rb.Dropped > 0 {
-			fmt.Fprintf(os.Stderr, "… %d events dropped (slow consumer)\n", rb.Dropped)
+		if rb.Dropped > lastDropped {
+			fmt.Fprintf(os.Stderr, "… %d events dropped (slow consumer)\n", rb.Dropped-lastDropped)
 		}
+		lastDropped = rb.Dropped
 		for _, ev := range rb.Events {
 			printEvent(ev)
 		}

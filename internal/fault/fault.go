@@ -59,12 +59,15 @@ var faultKinds = []string{
 
 // Errors surfaced to callers for injected faults. All are transient from
 // the protocol's point of view: retry policies treat them like network
-// loss, never like a policy refusal.
+// loss, never like a policy refusal. Crash and partition refuse the call
+// before delivery, so they carry transport.ErrRefused; the drops model
+// frames lost in flight — a real caller cannot tell a lost request from
+// a lost reply, so both stay ambiguous.
 var (
 	ErrInjectedDrop      = errors.New("fault: injected frame drop")
 	ErrInjectedReplyDrop = errors.New("fault: injected reply drop (frame was delivered)")
-	ErrCrashed           = errors.New("fault: node crashed")
-	ErrInjectedPartition = errors.New("fault: injected partition")
+	ErrCrashed           = fmt.Errorf("fault: node crashed (%w)", transport.ErrRefused)
+	ErrInjectedPartition = fmt.Errorf("fault: injected partition (%w)", transport.ErrRefused)
 )
 
 // Probabilities configures the per-call fault rates. The draws are

@@ -169,7 +169,16 @@ func (a *Agent) loop() {
 	for {
 		select {
 		case <-a.stop:
-			a.flush() // final drain
+			// Final drain: one flush exports at most BatchMax events, so a
+			// busy dock needs several batches to empty a QueueCap-deep
+			// queue. Bounded by the queue's batch count so a concurrent
+			// publisher cannot hold shutdown open.
+			for i := 0; i <= a.cfg.QueueCap/a.cfg.BatchMax; i++ {
+				if len(a.queue) == 0 {
+					break
+				}
+				a.flush()
+			}
 			return
 		case <-hb.C:
 			seq++

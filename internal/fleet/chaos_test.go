@@ -46,14 +46,29 @@ func TestChaosFleetSeeds(t *testing.T) {
 }
 
 // landings counts per-(naplet, server) landings — the exactly-once probe.
+// Each landing also records its hop context, so a duplicate is
+// diagnosable post-mortem (same hop = a replayed transfer; different
+// hops = a forked naplet touring twice).
 type landings struct {
-	mu sync.Mutex
-	m  map[string]int
+	mu     sync.Mutex
+	m      map[string]int
+	detail map[string][]string
 }
 
-func (l *landings) inc(nid, srv string) {
+func (l *landings) inc(ctx *naplet.Context) {
+	key := ctx.NapletID().String() + "@" + ctx.Server
+	hop, rem := -1, "?"
+	if ctx.Record.Log != nil {
+		hop = ctx.Record.Log.Len()
+	}
+	if ctx.Record.Itin != nil {
+		rem = fmt.Sprint(ctx.Record.Itin.Remaining)
+	}
+	d := fmt.Sprintf("hop=%d rem=%s at=%s",
+		hop, rem, time.Now().Format("15:04:05.000000"))
 	l.mu.Lock()
-	l.m[nid+"@"+srv]++
+	l.m[key]++
+	l.detail[key] = append(l.detail[key], d)
 	l.mu.Unlock()
 }
 
@@ -63,7 +78,8 @@ func (l *landings) doubles() []string {
 	var out []string
 	for k, n := range l.m {
 		if n > 1 {
-			out = append(out, fmt.Sprintf("%s landed %d times", k, n))
+			out = append(out, fmt.Sprintf("%s landed %d times: %s",
+				k, n, strings.Join(l.detail[k], " | ")))
 		}
 	}
 	return out
@@ -99,7 +115,7 @@ func runFleetChaos(t *testing.T, seed int64) {
 	net := netsim.New(netsim.Config{})
 	fabric := inj.Fabric(net)
 
-	land := &landings{m: make(map[string]int)}
+	land := &landings{m: make(map[string]int), detail: make(map[string][]string)}
 	codebases := registry.New()
 	codebases.MustRegister(&registry.Codebase{
 		Name: "chaos.Recorder",
@@ -258,7 +274,7 @@ type recorder struct {
 }
 
 func (r *recorder) OnStart(ctx *naplet.Context) error {
-	r.land.inc(ctx.NapletID().String(), ctx.Server)
+	r.land.inc(ctx)
 	var tour []string
 	ctx.State().Load("tour", &tour)
 	tour = append(tour, ctx.Server)

@@ -310,14 +310,20 @@ func (m *Master) handleNodes(f wire.Frame) (wire.Frame, error) {
 
 // handleWave runs the wave synchronously in the handler: transport
 // handlers run concurrently per connection, so a long wave does not
-// block heartbeats or event ingest.
+// block heartbeats or event ingest. The wave context carries the
+// spec's whole-wave deadline so a wave that can never dispatch (no
+// schedulable nodes) cannot leak a handler goroutine spinning forever
+// after the client's call has long timed out.
 func (m *Master) handleWave(f wire.Frame) (wire.Frame, error) {
 	var b WaveBody
 	if err := f.Body(&b); err != nil {
 		return wire.Frame{}, err
 	}
+	spec := b.Spec.withDefaults()
+	ctx, cancel := context.WithTimeout(context.Background(), spec.Timeout)
+	defer cancel()
 	rb := WaveReplyBody{}
-	res, err := m.Wave(context.Background(), b.Spec)
+	res, err := m.Wave(ctx, spec)
 	rb.Result = res
 	if err != nil {
 		rb.Err = err.Error()

@@ -115,6 +115,16 @@ func (r *Registry) Register(b RegisterBody) error {
 		e = &nodeEntry{info: NodeInfo{Name: b.Node, RegisteredAt: now}}
 		r.nodes[b.Node] = e
 	}
+	// A registration is a fresh start: a restarted dock's heartbeat
+	// counter begins again at 1, so the stored Seq (and the stats the
+	// old incarnation reported) must reset or every new beacon would be
+	// dropped as a stale replay until the counter outran the pre-restart
+	// value — freezing LastSeen and letting the liveness sweep declare a
+	// healthy node dead.
+	e.info.Seq = 0
+	e.info.Residents = 0
+	e.info.DiskUsedBytes = 0
+	e.info.Draining = false
 	e.info.MetricsAddr = b.MetricsAddr
 	e.info.Labels = append([]string(nil), b.Labels...)
 	e.info.LastSeen = now

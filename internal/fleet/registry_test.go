@@ -113,6 +113,37 @@ func TestRegistryLivenessSweep(t *testing.T) {
 	}
 }
 
+func TestRegistryReregisterResetsHeartbeatSeq(t *testing.T) {
+	r, now := testRegistry(t, nil)
+	if err := r.Register(RegisterBody{Node: "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		*now = now.Add(time.Second)
+		if err := r.Heartbeat(HeartbeatBody{Node: "d1", Seq: uint64(i), Residents: 9, Draining: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The dock restarts and re-registers under the same name: its
+	// heartbeat counter restarts at 1, and the beacons must not be
+	// dropped as stale replays of the old incarnation.
+	if err := r.Register(RegisterBody{Node: "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	ns := r.Nodes()
+	if ns[0].Seq != 0 || ns[0].Residents != 0 || ns[0].Draining {
+		t.Fatalf("stale state survived re-registration: %+v", ns[0].NodeInfo)
+	}
+	*now = now.Add(time.Second)
+	if err := r.Heartbeat(HeartbeatBody{Node: "d1", Seq: 1, Residents: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ns = r.Nodes()
+	if ns[0].Seq != 1 || ns[0].Residents != 2 || !ns[0].LastSeen.Equal(*now) {
+		t.Fatalf("post-restart heartbeat dropped as stale: %+v", ns[0].NodeInfo)
+	}
+}
+
 func TestRegistryDrainingExcludedFromScheduling(t *testing.T) {
 	r, now := testRegistry(t, nil)
 	for _, n := range []string{"d1", "d2"} {

@@ -75,6 +75,10 @@ type WaveSpec struct {
 	// bounds one naplet's run (default 2m).
 	LaunchTimeout time.Duration
 	WaitTimeout   time.Duration
+	// Timeout bounds the whole wave (default 10m). The master derives
+	// the wave context's deadline from it, so a wave that can never
+	// dispatch does not spin in the scheduler forever.
+	Timeout time.Duration
 }
 
 // withDefaults fills the spec's zero values.
@@ -99,6 +103,9 @@ func (s WaveSpec) withDefaults() WaveSpec {
 	}
 	if s.WaitTimeout <= 0 {
 		s.WaitTimeout = 2 * time.Minute
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 10 * time.Minute
 	}
 	return s
 }
@@ -148,6 +155,10 @@ type SchedulerConfig struct {
 	// PollEvery paces the dispatch loop while it waits for capacity or
 	// requeues (default 2ms).
 	PollEvery time.Duration
+	// NoNodesAfter fails a wave's pending assignments once the fleet has
+	// had zero schedulable nodes for this long (default 10s) — all-at-cap
+	// is a normal wait, an empty fleet is not worth spinning on.
+	NoNodesAfter time.Duration
 	// Clock overrides time.Now for elapsed accounting.
 	Clock func() time.Time
 	// Telemetry, when set, exports wave and launch counters.
@@ -172,6 +183,9 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	}
 	if cfg.PollEvery <= 0 {
 		cfg.PollEvery = 2 * time.Millisecond
+	}
+	if cfg.NoNodesAfter <= 0 {
+		cfg.NoNodesAfter = 10 * time.Second
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
@@ -277,6 +291,10 @@ func (s *Scheduler) Run(ctx context.Context, spec WaveSpec) (*WaveResult, error)
 		StateKV:  spec.StateKV,
 	}
 
+	// noNodesSince marks when the fleet last went empty of schedulable
+	// nodes; sustained emptiness fails the pending assignments instead
+	// of polling forever.
+	var noNodesSince time.Time
 	for {
 		mu.Lock()
 		if done >= total {
@@ -303,8 +321,24 @@ func (s *Scheduler) Run(ctx context.Context, spec WaveSpec) (*WaveResult, error)
 			time.Sleep(s.cfg.PollEvery)
 			continue
 		}
+		nodes := s.cfg.Nodes.Schedulable()
+		if len(nodes) == 0 {
+			now := s.cfg.Clock()
+			if noNodesSince.IsZero() {
+				noNodesSince = now
+			} else if now.Sub(noNodesSince) >= s.cfg.NoNodesAfter {
+				for _, a := range pending {
+					finish(a, a.lastNode, "", "failed", "no schedulable nodes", "")
+				}
+				pending = nil
+			}
+			mu.Unlock()
+			time.Sleep(s.cfg.PollEvery)
+			continue
+		}
+		noNodesSince = time.Time{}
 		a := pending[len(pending)-1]
-		node := s.pickNode(inflight, spec.PerNodeCap, a.lastNode)
+		node := s.pickNode(nodes, inflight, spec.PerNodeCap, a.lastNode)
 		if node == "" {
 			mu.Unlock()
 			time.Sleep(s.cfg.PollEvery)
@@ -350,10 +384,9 @@ func (s *Scheduler) Run(ctx context.Context, spec WaveSpec) (*WaveResult, error)
 	return res, ctx.Err()
 }
 
-// pickNode chooses the least-loaded schedulable node with spare capacity,
-// avoiding `avoid` when any alternative exists.
-func (s *Scheduler) pickNode(inflight map[string]int, cap int, avoid string) string {
-	nodes := s.cfg.Nodes.Schedulable()
+// pickNode chooses the least-loaded node with spare capacity from the
+// schedulable set, avoiding `avoid` when any alternative exists.
+func (s *Scheduler) pickNode(nodes []string, inflight map[string]int, cap int, avoid string) string {
 	best, bestLoad := "", 0
 	for _, n := range nodes {
 		load := inflight[n]

@@ -300,6 +300,46 @@ func TestSchedulerContextCancelFailsRemainder(t *testing.T) {
 	}
 }
 
+func TestSchedulerFailsWaveWhenFleetStaysEmpty(t *testing.T) {
+	f := newFakeFleet("d1")
+	f.dead["d1"] = true
+	s, err := NewScheduler(SchedulerConfig{
+		Nodes:        f,
+		Launcher:     f,
+		PollEvery:    100 * time.Microsecond,
+		NoNodesAfter: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var res *WaveResult
+	go func() {
+		defer close(done)
+		res, err = s.Run(context.Background(), WaveSpec{
+			Count:    3,
+			Routes:   []string{"seq(a)"},
+			Codebase: "test.Collector",
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wave with zero schedulable nodes never terminated")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.Failed != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, l := range res.Launches {
+		if l.Status != "failed" || l.Err != "no schedulable nodes" {
+			t.Fatalf("launch = %+v", l)
+		}
+	}
+}
+
 func TestSchedulerRejectsBadSpecs(t *testing.T) {
 	f := newFakeFleet("d1")
 	s := newTestScheduler(t, f)

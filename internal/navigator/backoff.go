@@ -147,6 +147,22 @@ func (n *Navigator) DispatchRetryID(ctx context.Context, rec *naplet.Record, des
 	}
 	var bd Breakdown
 	var err error
+	// unresolved tracks whether any attempt so far may have silently
+	// landed the naplet (its transfer was sent but never acknowledged).
+	// Attempts run strictly one after another, so a later definitive
+	// transfer reply speaks for every earlier attempt of the same ID: an
+	// acceptance is the landing we feared (success), and a rejection
+	// proves nothing landed — had a replay landed, the destination's
+	// dedup window would have re-acknowledged it instead of rejecting.
+	// Any failure returned while unresolved carries ErrTransferUnresolved
+	// so the caller's failover logic knows not to fork the naplet.
+	unresolved := false
+	mark := func(err error) error {
+		if unresolved && !errors.Is(err, ErrTransferUnresolved) {
+			return fmt.Errorf("%w: %w", ErrTransferUnresolved, err)
+		}
+		return err
+	}
 	for attempt := 0; ; attempt++ {
 		actx, cancel := context.WithTimeout(ctx, 2*n.cfg.CallTimeout)
 		bd, err = n.DispatchID(actx, rec, dest, tid)
@@ -155,22 +171,27 @@ func (n *Navigator) DispatchRetryID(ctx context.Context, rec *naplet.Record, des
 			hd.ReportSuccess(dest)
 			return bd, nil
 		}
+		if errors.Is(err, ErrTransferUnresolved) {
+			unresolved = true
+		} else if errors.Is(err, ErrRejected) {
+			unresolved = false
+		}
 		if IsPermanent(err) {
 			// The peer answered — its refusal proves it is alive.
 			hd.ReportSuccess(dest)
-			return bd, err
+			return bd, mark(err)
 		}
 		hd.ReportFailure(dest)
 		if probing {
 			// The one probe this interval allowed just failed: the peer
 			// stays presumed dead and this dispatch ends here.
-			return bd, fmt.Errorf("%w: %v", ErrPeerDead, err)
+			return bd, mark(fmt.Errorf("%w: %v", ErrPeerDead, err))
 		}
 		if attempt >= pol.Retries {
-			return bd, err
+			return bd, mark(err)
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return bd, err
+			return bd, mark(err)
 		}
 		delay := pol.Delay(attempt, jitterRand)
 		n.met.retries.Inc()
@@ -180,10 +201,10 @@ func (n *Navigator) DispatchRetryID(ctx context.Context, rec *naplet.Record, des
 		case <-t.C:
 		case <-stop:
 			t.Stop()
-			return bd, err
+			return bd, mark(err)
 		case <-ctx.Done():
 			t.Stop()
-			return bd, err
+			return bd, mark(err)
 		}
 	}
 }

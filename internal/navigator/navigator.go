@@ -28,6 +28,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -128,6 +129,13 @@ var (
 	ErrLandingDenied = errors.New("navigator: LANDING permission denied")
 	ErrLaunchDenied  = errors.New("navigator: LAUNCH permission denied")
 	ErrRejected      = errors.New("navigator: transfer rejected")
+	// ErrTransferUnresolved marks a failed dispatch whose transfer frame
+	// may nonetheless have been delivered and landed: the request was
+	// sent but the acknowledgement never arrived (lost frame, lost
+	// reply, timeout). The naplet could be alive at the destination, so
+	// the origin must not reroute this copy — a failover here would fork
+	// it. Recovery belongs to the owner: relaunch under a fresh identity.
+	ErrTransferUnresolved = errors.New("navigator: transfer outcome unknown")
 )
 
 // Breakdown records where one dispatch spent its time, feeding the
@@ -256,6 +264,12 @@ type Navigator struct {
 	bootID   string        // random per-boot nonce scoping transfer IDs
 	accepted *dedup.Window // transfer IDs already landed here
 
+	// landing single-flights concurrent HandleTransfer calls per transfer
+	// ID: a retry racing a still-running first delivery must wait for it
+	// to settle (and be absorbed by the window), not land a second copy.
+	landingMu sync.Mutex
+	landing   map[string]chan struct{}
+
 	met *metrics
 }
 
@@ -295,6 +309,7 @@ func New(cfg Config, server string, node transport.Node, sec *security.Manager, 
 		bootID:   hex.EncodeToString(nonce[:]),
 		met:      newMetrics(treg),
 		accepted: dedup.NewWindow(cfg.DedupMax, cfg.DedupTTL, clock),
+		landing:  make(map[string]chan struct{}),
 	}
 }
 
@@ -477,12 +492,18 @@ func (n *Navigator) dispatchID(ctx context.Context, rec *naplet.Record, dest, tr
 	if err == nil {
 		var ack TransferAckBody
 		if derr := ack.Decode(ackReply.Payload); derr != nil {
-			err = derr
+			// The destination replied, so the handler ran — and may have
+			// landed the naplet — but the ack is unreadable.
+			err = fmt.Errorf("%w: transfer ack from %s: %v", ErrTransferUnresolved, dest, derr)
 		} else if !ack.Accepted {
 			err = fmt.Errorf("%w by %s: %s", ErrRejected, dest, ack.Reason)
 		}
-	} else {
+	} else if transport.Refused(err) {
+		// Refused before delivery: the naplet provably did not land.
 		err = fmt.Errorf("navigator: transfer to %s: %w", dest, err)
+	} else {
+		// Lost somewhere past the send: the transfer may have landed.
+		err = fmt.Errorf("%w: transfer to %s: %w", ErrTransferUnresolved, dest, err)
 	}
 	if err != nil {
 		// The naplet never left: correct the directory with a fresh
@@ -589,7 +610,11 @@ func (n *Navigator) HandleLandingRequest(from string, f wire.Frame) (wire.Frame,
 func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error) {
 	var transfer TransferBody
 	if err := transfer.Decode(f.Payload); err != nil {
-		return wire.Frame{}, err
+		// Reply with a typed rejection, not an error frame: a rejection
+		// proves to the origin that nothing landed here, which its
+		// failover logic relies on. (An error frame would be ambiguous —
+		// it is also what a handler panic produces.)
+		return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Reason: err.Error()}), nil
 	}
 	rec, err := DecodeRecord(transfer.Record)
 	if err != nil {
@@ -600,10 +625,33 @@ func (n *Navigator) HandleTransfer(from string, f wire.Frame) (wire.Frame, error
 	// transfer ID arrives again; the naplet already landed, so just
 	// re-acknowledge. The window is keyed by transfer ID alone, so even a
 	// stale replay arriving after a newer migration of the same naplet is
-	// absorbed rather than double-landing it.
-	if transfer.TransferID != "" && n.accepted.Seen(transfer.TransferID) {
-		n.met.dupTransfer.Inc()
-		return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true}), nil
+	// absorbed rather than double-landing it. Concurrent deliveries of
+	// the same ID — a retry racing a first delivery whose handler is
+	// still running (the window is marked only once the landing
+	// succeeds) — are single-flighted: the second waits for the first to
+	// settle and then reads the window, so two copies can never land.
+	if transfer.TransferID != "" {
+		for {
+			if n.accepted.Seen(transfer.TransferID) {
+				n.met.dupTransfer.Inc()
+				return wire.BinaryFrame(wire.KindTransferAck, f.To, f.From, &TransferAckBody{Accepted: true}), nil
+			}
+			n.landingMu.Lock()
+			settled, busy := n.landing[transfer.TransferID]
+			if !busy {
+				n.landing[transfer.TransferID] = make(chan struct{})
+				n.landingMu.Unlock()
+				break
+			}
+			n.landingMu.Unlock()
+			<-settled
+		}
+		defer func() {
+			n.landingMu.Lock()
+			close(n.landing[transfer.TransferID])
+			delete(n.landing, transfer.TransferID)
+			n.landingMu.Unlock()
+		}()
 	}
 	// Re-verify the credential on the actual record: the landing request
 	// is not trusted to match the transfer.

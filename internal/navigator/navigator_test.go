@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cred"
 	"repro/internal/directory"
+	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/itinerary"
 	"repro/internal/manager"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/registry"
 	"repro/internal/security"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -46,12 +49,19 @@ type node struct {
 
 func attach(t *testing.T, net *netsim.Network, name string, reg *registry.Registry, sec *security.Manager, cfg Config) *node {
 	t.Helper()
+	return attachOn(t, net, name, reg, sec, cfg)
+}
+
+// attachOn is attach over any fabric — tests that wrap the network in a
+// fault injector pass the injected fabric here.
+func attachOn(t *testing.T, fab transport.Fabric, name string, reg *registry.Registry, sec *security.Manager, cfg Config) *node {
+	t.Helper()
 	n := &node{
 		mgr:    manager.New(name, func() time.Time { return time.Now() }),
 		cache:  registry.NewCache(),
 		landed: make(chan *naplet.Record, 8),
 	}
-	tnode, err := net.Attach(name, func(from string, f wire.Frame) (wire.Frame, error) {
+	tnode, err := fab.Attach(name, func(from string, f wire.Frame) (wire.Frame, error) {
 		switch f.Kind {
 		case wire.KindLandingRequest:
 			return n.nav.HandleLandingRequest(from, f)
@@ -403,5 +413,155 @@ func TestDispatchDigestAliasSkipsCode(t *testing.T) {
 	}
 	if s.BytesFetched != 2048 {
 		t.Fatalf("no new bytes may be fetched: %+v", s)
+	}
+}
+
+// blockingDirectory stalls the first Arrival registration until released,
+// holding a landing open mid-HandleTransfer — before the dedup window is
+// marked — so a concurrent replay of the same transfer ID can race it.
+type blockingDirectory struct {
+	gate    chan struct{}
+	arrived chan struct{}
+	first   atomic.Bool
+}
+
+func (d *blockingDirectory) RegisterEvent(ctx context.Context, r directory.Registration) error {
+	if d.first.CompareAndSwap(false, true) {
+		close(d.arrived)
+		<-d.gate
+	}
+	return nil
+}
+
+func (d *blockingDirectory) Lookup(ctx context.Context, nid id.NapletID) (directory.Entry, error) {
+	return directory.Entry{}, errors.New("not tracked")
+}
+
+func (d *blockingDirectory) DeregisterServer(ctx context.Context, server string) error { return nil }
+
+func TestConcurrentTransferReplaySingleFlights(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	reg := newRegistry(t)
+	dir := &blockingDirectory{gate: make(chan struct{}), arrived: make(chan struct{})}
+	dst := attach(t, net, "b", reg, nil, Config{Directory: dir})
+
+	rec := record(t, nil, "a")
+	data, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := TransferBody{Record: data, TransferID: "a/boot/1"}
+	f := wire.BinaryFrame(wire.KindNapletTransfer, "a", "b", &body)
+
+	type outcome struct {
+		ack TransferAckBody
+		err error
+	}
+	results := make(chan outcome, 2)
+	handle := func() {
+		reply, err := dst.nav.HandleTransfer("a", f)
+		var o outcome
+		o.err = err
+		if err == nil {
+			o.err = o.ack.Decode(reply.Payload)
+		}
+		results <- o
+	}
+	go handle()
+	// The first delivery is now mid-landing with the window unmarked:
+	// exactly the race a retry after a lost acknowledgement hits.
+	<-dir.arrived
+	go handle()
+	time.Sleep(10 * time.Millisecond)
+	close(dir.gate)
+
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if !o.ack.Accepted {
+			t.Fatalf("delivery %d refused: %s", i, o.ack.Reason)
+		}
+	}
+	select {
+	case <-dst.landed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("transfer never landed")
+	}
+	select {
+	case rec2 := <-dst.landed:
+		t.Fatalf("concurrent replay landed a second copy of %v", rec2.ID)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := dst.nav.Stats().DupTransfers; got != 1 {
+		t.Fatalf("DupTransfers = %d, want 1", got)
+	}
+}
+
+// TestDispatchLostAckIsUnresolved covers the ghost-split guard: a
+// transfer whose acknowledgement is lost has landed the naplet at the
+// destination while the origin only sees an error. That error must carry
+// ErrTransferUnresolved — the origin cannot tell this failure from a
+// genuine loss, so its failover logic must not reroute (fork) the
+// naplet. A replay under the same transfer ID, once the network heals,
+// resolves the ambiguity through the destination's dedup window without
+// landing a second copy.
+func TestDispatchLostAckIsUnresolved(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	var dropping atomic.Bool
+	dropping.Store(true)
+	inj := fault.New(fault.Config{
+		Seed: 1,
+		P:    fault.Probabilities{DropReply: 1},
+		Kinds: func(k wire.Kind) bool {
+			return dropping.Load() && k == wire.KindNapletTransfer
+		},
+	})
+	fabric := inj.Fabric(net)
+	reg := newRegistry(t)
+	org := attachOn(t, fabric, "a", reg, nil, Config{})
+	dst := attachOn(t, fabric, "b", reg, nil, Config{})
+
+	rec := record(t, nil, "a")
+	tid := org.nav.NewTransferID()
+	pol := Backoff{Retries: 2, Initial: time.Millisecond, Max: time.Millisecond, Jitter: 0}
+	_, err := org.nav.DispatchRetryID(context.Background(), rec, "b", tid, pol, nil)
+	if err == nil {
+		t.Fatal("dispatch with every ack dropped must fail")
+	}
+	if !errors.Is(err, ErrTransferUnresolved) {
+		t.Fatalf("lost-ack dispatch error must be unresolved, got: %v", err)
+	}
+	// The side effect happened: the naplet is live at the destination.
+	select {
+	case <-dst.landed:
+	case <-time.After(time.Second):
+		t.Fatal("naplet never landed despite delivered transfers")
+	}
+
+	// Network heals: a replay of the same transfer ID is absorbed by the
+	// dedup window — the dispatch succeeds without a second landing.
+	dropping.Store(false)
+	if _, err := org.nav.DispatchID(context.Background(), rec, "b", tid); err != nil {
+		t.Fatalf("replay after heal: %v", err)
+	}
+	select {
+	case <-dst.landed:
+		t.Fatal("replay landed a second copy")
+	default:
+	}
+
+	// A pre-delivery refusal, by contrast, is provably not a landing:
+	// dispatch to a crashed node must NOT be marked unresolved, so
+	// failover stays allowed.
+	inj.Crash("b")
+	rec2 := record(t, nil, "a")
+	_, err = org.nav.DispatchRetryID(context.Background(), rec2, "b", org.nav.NewTransferID(), pol, nil)
+	if err == nil {
+		t.Fatal("dispatch to crashed node must fail")
+	}
+	if errors.Is(err, ErrTransferUnresolved) {
+		t.Fatalf("refused-before-delivery dispatch must stay resolved, got: %v", err)
 	}
 }

@@ -97,10 +97,13 @@ type Config struct {
 	CallTimeout time.Duration
 }
 
-// Errors reported by the simulated fabric.
+// Errors reported by the simulated fabric. A partition is a refusal at
+// link setup — the frame never left, so it carries transport.ErrRefused;
+// a timeout models a frame lost somewhere in flight, which a real caller
+// cannot distinguish from a lost reply, so it stays ambiguous.
 var (
 	ErrTimeout     = errors.New("netsim: call timed out (frame lost)")
-	ErrPartitioned = errors.New("netsim: hosts are partitioned")
+	ErrPartitioned = fmt.Errorf("netsim: hosts are partitioned (%w)", transport.ErrRefused)
 )
 
 // Network is an in-process simulated network. It implements

@@ -324,6 +324,16 @@ func (s *Server) applyFailover(rec *naplet.Record, v itinerary.Visit, alts []*it
 		s.failovers.Inc()
 		s.emit("reroute", rec, s.name, v.Server, policy)
 	}
+	if errors.Is(derr, navigator.ErrTransferUnresolved) {
+		// The transfer may have silently landed: the destination could
+		// already be running this naplet. Rerouting the local copy would
+		// fork it — two live copies touring the same itinerary — so no
+		// failover policy applies. Hold (trap) this copy instead; the
+		// owner observes the trap and relaunches under a fresh identity,
+		// which can never collide with the maybe-alive copy.
+		record("hold")
+		return failoverNone
+	}
 	switch rec.Failover {
 	case naplet.FailoverAlternates:
 		// Replace the remaining itinerary with the Alt siblings the guard

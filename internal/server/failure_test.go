@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/directory"
+	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/itinerary"
 	"repro/internal/locator"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/registry"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 // failSpace builds a space on a lossy/partitionable netsim with custom
@@ -455,5 +457,69 @@ func TestBandwidthBudgetKillsChattyNaplet(t *testing.T) {
 	_, errText, _ := servers["home"].Status(nid)
 	if !strings.Contains(errText, "budget") {
 		t.Fatalf("trap error = %q", errText)
+	}
+}
+
+// TestUnresolvedDispatchTrapsInsteadOfForking is the engine half of the
+// ghost-split guard. Every transfer is delivered but its acknowledgement
+// is lost: the naplet lands (and stays, test.Sleeper) at s1 while home's
+// dispatch exhausts its budget on an outcome it cannot resolve. A
+// failover policy must NOT apply — skipping s1 and touring on from home
+// would fork the naplet into two live copies. The engine holds (traps)
+// the local copy instead, leaving recovery to the owner, and the copy at
+// s1 remains the only one.
+func TestUnresolvedDispatchTrapsInsteadOfForking(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	inj := fault.New(fault.Config{
+		Seed: 1,
+		P:    fault.Probabilities{DropReply: 1},
+		Kinds: func(k wire.Kind) bool { return k == wire.KindNapletTransfer },
+	})
+	reg := newTestRegistry(t)
+	servers := make(map[string]*Server, 2)
+	for _, name := range []string{"home", "s1"} {
+		srv, err := New(Config{
+			Name:               name,
+			Fabric:             inj.Fabric(net),
+			Registry:           reg,
+			DispatchRetries:    2,
+			DispatchRetryDelay: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers[name] = srv
+	}
+
+	nid, err := servers["home"].Launch(context.Background(), LaunchOptions{
+		Owner:    "czxu",
+		Codebase: "test.Sleeper",
+		Pattern:  itinerary.SeqVisits([]string{"s1"}, ""),
+		Failover: naplet.FailoverSkip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := servers["home"].WaitDone(ctx, nid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != manager.StatusTrapped {
+		t.Fatalf("status = %v, want trapped (a skip here would fork the naplet)", st)
+	}
+	_, errText, _ := servers["home"].Status(nid)
+	if !strings.Contains(errText, "dispatch to s1") {
+		t.Fatalf("trap error = %q", errText)
+	}
+	// The other copy is alive at s1 — exactly the fork the hold prevented.
+	deadline := time.Now().Add(5 * time.Second)
+	for servers["s1"].Manager().Resident() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("s1 residents = %d, want the landed copy", servers["s1"].Manager().Resident())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -62,6 +62,25 @@ var (
 	ErrHandlerPanic = errors.New("transport: handler panicked")
 )
 
+// ErrRefused marks call failures where the request was refused before
+// delivery — the connection (or the local node, or the fabric) rejected
+// the call without the remote handler ever running. Fabrics wrap their
+// pre-delivery refusals with it so protocol layers can tell a failure
+// with provably no remote side effect from an ambiguous one (a timeout
+// or a lost frame, where the request may have executed). Exactly-once
+// decisions — a migration's failover, for one — hinge on that
+// distinction.
+var ErrRefused = errors.New("transport: undelivered")
+
+// Refused reports whether err proves the request never reached the
+// peer's handler. Absence of ErrRefused is not proof of delivery: it
+// means the outcome is unknown.
+func Refused(err error) bool {
+	return errors.Is(err, ErrRefused) ||
+		errors.Is(err, ErrNodeClosed) ||
+		errors.Is(err, ErrUnknownPeer)
+}
+
 // TCPFabric implements Fabric over real TCP sockets. Addresses are
 // host:port strings. Calls to the same peer share one multiplexed
 // connection: requests are written back-to-back tagged with sequence
