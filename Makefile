@@ -11,6 +11,7 @@ verify:
 	go run ./cmd/migrationbench -check BENCH_migration.json
 	go run ./cmd/directorybench -check BENCH_directory.json
 	go run ./cmd/fleetbench -check BENCH_fleet.json
+	go run ./cmd/napletctl loadgen -check BENCH_loadgen.json
 	$(MAKE) chaos
 
 # chaos runs the seeded fault-injection suites under the race detector:
@@ -67,6 +68,24 @@ bench-migration:
 bench-directory:
 	go run ./cmd/directorybench -count 5 -o BENCH_directory.json
 
+# loadgen runs the full enterprise-scale load generation scenario: the
+# man-sweep profile (2000 simulated SNMP devices, sustained mixed agent
+# traffic, the §6 CNMP-vs-naplet sweep) against both the simulated WAN and
+# a real TCP fabric, with the SLO table printed per run and a non-zero
+# exit on any violation. Reproduce a failing run exactly with
+# -loadgen.seed=N (the seed is printed in the run header).
+loadgen:
+	go run ./cmd/napletctl loadgen -profile man-sweep -devices 2000
+	go run ./cmd/napletctl loadgen -profile man-sweep -faults -fabric netsim-lan
+
+# bench-loadgen regenerates BENCH_loadgen.json, the loadgen trajectory
+# baseline: work totals and station byte counts of the deterministic
+# short-profile netsim run are gated; latency scalars ride along as
+# context. `napletctl loadgen -check` (run by verify) replays the
+# recorded profile/fabric/seed and fails on gated drift.
+bench-loadgen:
+	go run ./cmd/napletctl loadgen -profile short -fabric netsim-wan -o BENCH_loadgen.json
+
 # bench-fleet regenerates BENCH_fleet.json: the fleet control plane's
 # protocol codecs, broadcaster fan-out with 64 live subscribers, the
 # watchdog rate estimator, and wave-scheduling throughput across 200
@@ -94,4 +113,4 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz 'FuzzDecodeMail$$' -fuzztime 10s ./internal/naplet/
 	go test -run '^$$' -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/dock/
 
-.PHONY: verify chaos bench bench-telemetry bench-migration bench-directory bench-fleet compose-smoke fuzz fuzz-smoke
+.PHONY: verify chaos bench bench-telemetry bench-migration bench-directory bench-fleet loadgen bench-loadgen compose-smoke fuzz fuzz-smoke

@@ -34,58 +34,31 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/benchcheck"
 	"repro/internal/directory"
 	"repro/internal/directory/shard"
 	"repro/internal/id"
 	"repro/internal/wire"
 )
 
-type sample struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
-	P99Ns       int64   `json:"p99_ns,omitempty"`
-}
-
-type result struct {
-	Name    string   `json:"name"`
-	Samples []sample `json:"samples"`
-	Median  sample   `json:"median"`
-}
-
+// report extends the shared envelope with the workload shape and the
+// self-asserted speedup.
 type report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Count       int      `json:"count"`
-	Naplets     int      `json:"naplets"`
-	Workload    string   `json:"workload"`
-	LookupX     float64  `json:"lookup_speedup"`
-	Results     []result `json:"results"`
-}
-
-type bench struct {
-	name string
-	fn   func(b *testing.B)
-	// deterministic marks codec/ring benchmarks whose allocs/op cannot
-	// vary run to run; only these participate in -check.
-	deterministic bool
+	benchcheck.Report
+	Naplets  int     `json:"naplets"`
+	Workload string  `json:"workload"`
+	LookupX  float64 `json:"lookup_speedup"`
 }
 
 func main() {
@@ -98,15 +71,15 @@ func main() {
 	check := flag.String("check", "", "baseline JSON to regression-check against (codec/ring benches only)")
 	flag.Parse()
 
-	benches := []bench{
-		{"codec/register-encode-binary", benchRegisterEncodeBinary, true},
-		{"codec/register-decode-binary", benchRegisterDecodeBinary, true},
-		{"codec/reply-roundtrip-binary", benchReplyRoundTripBinary, true},
-		{"codec/register-roundtrip-gob", benchRegisterRoundTripGob, true},
-		{"ring/owners", benchRingOwners, true},
+	benches := []benchcheck.Bench{
+		{Name: "codec/register-encode-binary", Fn: benchRegisterEncodeBinary, Deterministic: true},
+		{Name: "codec/register-decode-binary", Fn: benchRegisterDecodeBinary, Deterministic: true},
+		{Name: "codec/reply-roundtrip-binary", Fn: benchReplyRoundTripBinary, Deterministic: true},
+		{Name: "codec/register-roundtrip-gob", Fn: benchRegisterRoundTripGob, Deterministic: true},
+		{Name: "ring/owners", Fn: benchRingOwners, Deterministic: true},
 	}
 	if *check != "" {
-		if err := runCheck(*check, benches, *count); err != nil {
+		if err := benchcheck.Check("directorybench", *check, benches, *count); err != nil {
 			fatal(err)
 		}
 		fmt.Println("directorybench: regression check passed")
@@ -114,19 +87,14 @@ func main() {
 	}
 
 	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Count:       *count,
-		Naplets:     *naplets,
+		Report:  benchcheck.NewReport(*count),
+		Naplets: *naplets,
 		Workload: fmt.Sprintf(
 			"%d naplets, %d readers + %d writers, dock drain every %d registers",
 			*naplets, readers, writers, drainEvery),
 	}
 	for _, bm := range benches {
-		res := runBench(bm, *count)
+		res := benchcheck.Run(bm, *count)
 		rep.Results = append(rep.Results, res)
 		printRow(res)
 	}
@@ -143,11 +111,7 @@ func main() {
 	rep.LookupX = shardedRes[0].Median.OpsPerSec / singleRes[0].Median.OpsPerSec
 	fmt.Printf("sharded/single lookup speedup: %.1fx\n", rep.LookupX)
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := benchcheck.WriteFile(*out, &rep); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
@@ -157,7 +121,7 @@ func main() {
 	}
 }
 
-func printRow(res result) {
+func printRow(res benchcheck.Result) {
 	if res.Median.OpsPerSec > 0 {
 		fmt.Printf("%-44s %12.0f ops/s  p99 %8s  %6d allocs/op\n",
 			res.Name, res.Median.OpsPerSec, time.Duration(res.Median.P99Ns), res.Median.AllocsPerOp)
@@ -165,69 +129,6 @@ func printRow(res result) {
 	}
 	fmt.Printf("%-34s %12.1f ns/op %8d B/op %6d allocs/op\n",
 		res.Name, res.Median.NsPerOp, res.Median.BytesPerOp, res.Median.AllocsPerOp)
-}
-
-func runBench(bm bench, count int) result {
-	res := result{Name: bm.name}
-	for i := 0; i < count; i++ {
-		r := testing.Benchmark(bm.fn)
-		res.Samples = append(res.Samples, sample{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-	}
-	res.Median = median(res.Samples, func(s sample) float64 { return s.NsPerOp })
-	return res
-}
-
-// runCheck re-runs the deterministic benchmarks and fails if allocs/op
-// regressed more than 10% against the committed baseline.
-func runCheck(path string, benches []bench, count int) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
-	}
-	var base report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
-	}
-	baseline := make(map[string]sample, len(base.Results))
-	for _, r := range base.Results {
-		baseline[r.Name] = r.Median
-	}
-	var failures []string
-	for _, bm := range benches {
-		if !bm.deterministic {
-			continue
-		}
-		want, ok := baseline[bm.name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from baseline", bm.name))
-			continue
-		}
-		got := runBench(bm, count).Median
-		limit := float64(want.AllocsPerOp) * 1.10
-		status := "ok"
-		if float64(got.AllocsPerOp) > limit {
-			status = "REGRESSED"
-			failures = append(failures, fmt.Sprintf(
-				"%s: allocs/op %d exceeds baseline %d by >10%%",
-				bm.name, got.AllocsPerOp, want.AllocsPerOp))
-		}
-		fmt.Printf("%-34s allocs/op %6d (baseline %6d) %s\n",
-			bm.name, got.AllocsPerOp, want.AllocsPerOp, status)
-	}
-	if len(failures) > 0 {
-		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
-	}
-	return nil
-}
-
-func median(s []sample, key func(sample) float64) sample {
-	sorted := append([]sample(nil), s...)
-	sort.Slice(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
-	return sorted[len(sorted)/2]
 }
 
 func fatal(err error) {
@@ -341,19 +242,19 @@ func populate(p plane, ids []id.NapletID) {
 // sharded plane's aggregate is node rate x shards (divided by replicas
 // for registers, which write through R times). Returns [lookup, register]
 // results per plane, aggregate rows first for the sharded plane.
-func throughput(ids []id.NapletID, shards, replicas int, window time.Duration, count int) (single, sharded []result) {
+func throughput(ids []id.NapletID, shards, replicas int, window time.Duration, count int) (single, sharded []benchcheck.Result) {
 	// Single node: all keys, all traffic, global mutex.
 	sp := newSinglePlane(len(ids))
 	populate(sp, ids)
-	singleLookup := result{Name: fmt.Sprintf("plane/single-node/lookup-%s", human(len(ids)))}
-	singleRegister := result{Name: fmt.Sprintf("plane/single-node/register-%s", human(len(ids)))}
+	singleLookup := benchcheck.Result{Name: fmt.Sprintf("plane/single-node/lookup-%s", human(len(ids)))}
+	singleRegister := benchcheck.Result{Name: fmt.Sprintf("plane/single-node/register-%s", human(len(ids)))}
 	for s := 0; s < count; s++ {
 		ls, rs := measure(sp, ids, ids, drainEvery, window, int64(s))
 		singleLookup.Samples = append(singleLookup.Samples, ls)
 		singleRegister.Samples = append(singleRegister.Samples, rs)
 	}
-	singleLookup.Median = median(singleLookup.Samples, func(s sample) float64 { return -s.OpsPerSec })
-	singleRegister.Median = median(singleRegister.Samples, func(s sample) float64 { return -s.OpsPerSec })
+	singleLookup.Median = benchcheck.Median(singleLookup.Samples, func(s benchcheck.Sample) float64 { return -s.OpsPerSec })
+	singleRegister.Median = benchcheck.Median(singleRegister.Samples, func(s benchcheck.Sample) float64 { return -s.OpsPerSec })
 
 	// One shard node's slice of the same space: it stores every key whose
 	// replica group includes it, serves primary lookups for the keys it
@@ -395,30 +296,30 @@ func throughput(ids []id.NapletID, shards, replicas int, window time.Duration, c
 		nodeDrainEvery = 1
 	}
 	planeName := fmt.Sprintf("sharded-%dx%d", shards, replicas)
-	nodeLookup := result{Name: fmt.Sprintf("plane/%s-per-node/lookup-%s", planeName, human(len(ids)))}
-	nodeRegister := result{Name: fmt.Sprintf("plane/%s-per-node/register-%s", planeName, human(len(ids)))}
+	nodeLookup := benchcheck.Result{Name: fmt.Sprintf("plane/%s-per-node/lookup-%s", planeName, human(len(ids)))}
+	nodeRegister := benchcheck.Result{Name: fmt.Sprintf("plane/%s-per-node/register-%s", planeName, human(len(ids)))}
 	for s := 0; s < count; s++ {
 		ls, rs := measure(np, leads, owned, nodeDrainEvery, window, int64(s))
 		nodeLookup.Samples = append(nodeLookup.Samples, ls)
 		nodeRegister.Samples = append(nodeRegister.Samples, rs)
 	}
-	nodeLookup.Median = median(nodeLookup.Samples, func(s sample) float64 { return -s.OpsPerSec })
-	nodeRegister.Median = median(nodeRegister.Samples, func(s sample) float64 { return -s.OpsPerSec })
+	nodeLookup.Median = benchcheck.Median(nodeLookup.Samples, func(s benchcheck.Sample) float64 { return -s.OpsPerSec })
+	nodeRegister.Median = benchcheck.Median(nodeRegister.Samples, func(s benchcheck.Sample) float64 { return -s.OpsPerSec })
 
 	aggLookup := scaleResult(nodeLookup,
 		fmt.Sprintf("plane/%s-aggregate/lookup-%s", planeName, human(len(ids))), float64(shards))
 	aggRegister := scaleResult(nodeRegister,
 		fmt.Sprintf("plane/%s-aggregate/register-%s", planeName, human(len(ids))), float64(shards)/float64(replicas))
 
-	return []result{singleLookup, singleRegister},
-		[]result{aggLookup, aggRegister, nodeLookup, nodeRegister}
+	return []benchcheck.Result{singleLookup, singleRegister},
+		[]benchcheck.Result{aggLookup, aggRegister, nodeLookup, nodeRegister}
 }
 
 // scaleResult derives a plane-aggregate row from a per-node row: N nodes
 // serve disjoint traffic concurrently, so aggregate ops/s multiplies;
 // per-op latency (p99) is unchanged — each op still runs on one node.
-func scaleResult(r result, name string, factor float64) result {
-	out := result{Name: name}
+func scaleResult(r benchcheck.Result, name string, factor float64) benchcheck.Result {
+	out := benchcheck.Result{Name: name}
 	for _, s := range r.Samples {
 		s.OpsPerSec *= factor
 		out.Samples = append(out.Samples, s)
@@ -433,7 +334,7 @@ func scaleResult(r result, name string, factor float64) result {
 // keys from lookIDs, writers re-registering random keys from writeIDs,
 // one dock drained every drainN registers — and returns (lookup,
 // register) samples.
-func measure(p plane, lookIDs, writeIDs []id.NapletID, drainN int, window time.Duration, seed int64) (sample, sample) {
+func measure(p plane, lookIDs, writeIDs []id.NapletID, drainN int, window time.Duration, seed int64) (benchcheck.Sample, benchcheck.Sample) {
 	var (
 		stop      atomic.Bool
 		lookups   atomic.Int64
@@ -515,10 +416,10 @@ func measure(p plane, lookIDs, writeIDs []id.NapletID, drainN int, window time.D
 		p99 = all[len(all)*99/100]
 	}
 
-	mk := func(ops int64) sample {
-		s := sample{
+	mk := func(ops int64) benchcheck.Sample {
+		s := benchcheck.Sample{
 			OpsPerSec:   float64(ops) / elapsed.Seconds(),
-			P99Ns:       p99,
+			P99Ns:       float64(p99),
 			AllocsPerOp: allocsPerOp,
 			BytesPerOp:  bytesPerOp,
 		}

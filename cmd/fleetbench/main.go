@@ -19,52 +19,23 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/benchcheck"
 	"repro/internal/fleet"
 )
 
-type sample struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
-}
-
-type result struct {
-	Name    string   `json:"name"`
-	Samples []sample `json:"samples"`
-	Median  sample   `json:"median"`
-}
-
+// report extends the shared envelope with the workload shape.
 type report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Count       int      `json:"count"`
-	Nodes       int      `json:"nodes"`
-	Subscribers int      `json:"subscribers"`
-	Results     []result `json:"results"`
-}
-
-type bench struct {
-	name string
-	fn   func(b *testing.B)
-	// deterministic marks benchmarks whose allocs/op cannot vary run to
-	// run; only these participate in -check.
-	deterministic bool
+	benchcheck.Report
+	Nodes       int `json:"nodes"`
+	Subscribers int `json:"subscribers"`
 }
 
 func main() {
@@ -76,15 +47,15 @@ func main() {
 	check := flag.String("check", "", "baseline JSON to regression-check against (deterministic benches only)")
 	flag.Parse()
 
-	benches := []bench{
-		{"codec/heartbeat-roundtrip", benchHeartbeatRoundTrip, true},
-		{"codec/event-batch-encode", benchEventBatchEncode, true},
-		{"codec/event-batch-decode", benchEventBatchDecode, true},
-		{fmt.Sprintf("broadcast/publish-%dsubs", *subs), benchPublish(*subs), true},
-		{"watchdog/rate-observe", benchRateObserve, true},
+	benches := []benchcheck.Bench{
+		{Name: "codec/heartbeat-roundtrip", Fn: benchHeartbeatRoundTrip, Deterministic: true},
+		{Name: "codec/event-batch-encode", Fn: benchEventBatchEncode, Deterministic: true},
+		{Name: "codec/event-batch-decode", Fn: benchEventBatchDecode, Deterministic: true},
+		{Name: fmt.Sprintf("broadcast/publish-%dsubs", *subs), Fn: benchPublish(*subs), Deterministic: true},
+		{Name: "watchdog/rate-observe", Fn: benchRateObserve, Deterministic: true},
 	}
 	if *check != "" {
-		if err := runCheck(*check, benches, *count); err != nil {
+		if err := benchcheck.Check("fleetbench", *check, benches, *count); err != nil {
 			fatal(err)
 		}
 		fmt.Println("fleetbench: regression check passed")
@@ -92,22 +63,17 @@ func main() {
 	}
 
 	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Count:       *count,
+		Report:      benchcheck.NewReport(*count),
 		Nodes:       *nodes,
 		Subscribers: *subs,
 	}
 	for _, bm := range benches {
-		res := runBench(bm, *count)
+		res := benchcheck.Run(bm, *count)
 		rep.Results = append(rep.Results, res)
 		printRow(res)
 	}
 
-	for _, res := range []result{
+	for _, res := range []benchcheck.Result{
 		waveThroughput(*nodes, *launches, *count),
 		broadcastThroughput(*subs, *count),
 	} {
@@ -115,17 +81,13 @@ func main() {
 		printRow(res)
 	}
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := benchcheck.WriteFile(*out, &rep); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }
 
-func printRow(res result) {
+func printRow(res benchcheck.Result) {
 	if res.Median.OpsPerSec > 0 {
 		fmt.Printf("%-36s %12.0f ops/s %6d allocs/op\n",
 			res.Name, res.Median.OpsPerSec, res.Median.AllocsPerOp)
@@ -133,69 +95,6 @@ func printRow(res result) {
 	}
 	fmt.Printf("%-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
 		res.Name, res.Median.NsPerOp, res.Median.BytesPerOp, res.Median.AllocsPerOp)
-}
-
-func runBench(bm bench, count int) result {
-	res := result{Name: bm.name}
-	for i := 0; i < count; i++ {
-		r := testing.Benchmark(bm.fn)
-		res.Samples = append(res.Samples, sample{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-	}
-	res.Median = median(res.Samples, func(s sample) float64 { return s.NsPerOp })
-	return res
-}
-
-// runCheck re-runs the deterministic benchmarks and fails if allocs/op
-// regressed more than 10% against the committed baseline.
-func runCheck(path string, benches []bench, count int) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
-	}
-	var base report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
-	}
-	baseline := make(map[string]sample, len(base.Results))
-	for _, r := range base.Results {
-		baseline[r.Name] = r.Median
-	}
-	var failures []string
-	for _, bm := range benches {
-		if !bm.deterministic {
-			continue
-		}
-		want, ok := baseline[bm.name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from baseline", bm.name))
-			continue
-		}
-		got := runBench(bm, count).Median
-		limit := float64(want.AllocsPerOp) * 1.10
-		status := "ok"
-		if float64(got.AllocsPerOp) > limit {
-			status = "REGRESSED"
-			failures = append(failures, fmt.Sprintf(
-				"%s: allocs/op %d exceeds baseline %d by >10%%",
-				bm.name, got.AllocsPerOp, want.AllocsPerOp))
-		}
-		fmt.Printf("%-36s allocs/op %6d (baseline %6d) %s\n",
-			bm.name, got.AllocsPerOp, want.AllocsPerOp, status)
-	}
-	if len(failures) > 0 {
-		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
-	}
-	return nil
-}
-
-func median(s []sample, key func(sample) float64) sample {
-	sorted := append([]sample(nil), s...)
-	sort.Slice(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
-	return sorted[len(sorted)/2]
 }
 
 func fatal(err error) {
@@ -321,12 +220,12 @@ func (l *benchLauncher) Wait(context.Context, string, string) (string, string, e
 
 // waveThroughput measures scheduler launches/second across a simulated
 // fleet of nodes docks.
-func waveThroughput(nodes, launches, count int) result {
+func waveThroughput(nodes, launches, count int) benchcheck.Result {
 	names := make([]string, nodes)
 	for i := range names {
 		names[i] = fmt.Sprintf("dock%d:7001", i)
 	}
-	res := result{Name: fmt.Sprintf("wave/%dnodes-launches", nodes)}
+	res := benchcheck.Result{Name: fmt.Sprintf("wave/%dnodes-launches", nodes)}
 	for s := 0; s < count; s++ {
 		l := &benchLauncher{nodes: names}
 		sched, err := fleet.NewScheduler(fleet.SchedulerConfig{
@@ -350,21 +249,21 @@ func waveThroughput(nodes, launches, count int) result {
 			fatal(fmt.Errorf("wave completed %d/%d", wr.Completed, launches))
 		}
 		elapsed := time.Since(start)
-		res.Samples = append(res.Samples, sample{
+		res.Samples = append(res.Samples, benchcheck.Sample{
 			OpsPerSec: float64(launches) / elapsed.Seconds(),
 			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(launches),
 		})
 	}
-	res.Median = median(res.Samples, func(s sample) float64 { return -s.OpsPerSec })
+	res.Median = benchcheck.Median(res.Samples, func(s benchcheck.Sample) float64 { return -s.OpsPerSec })
 	return res
 }
 
 // broadcastThroughput measures sustained publish rate with subs
 // subscribers being drained concurrently by pollers — the whole
 // fan-out/consume loop, not just the publish hot path.
-func broadcastThroughput(subs, count int) result {
+func broadcastThroughput(subs, count int) benchcheck.Result {
 	const events = 200_000
-	res := result{Name: fmt.Sprintf("broadcast/publish-poll-%dsubs", subs)}
+	res := benchcheck.Result{Name: fmt.Sprintf("broadcast/publish-poll-%dsubs", subs)}
 	for s := 0; s < count; s++ {
 		bc := fleet.NewBroadcaster(fleet.BroadcasterConfig{Buf: 1024})
 		ids := make([]string, subs)
@@ -398,11 +297,11 @@ func broadcastThroughput(subs, count int) result {
 		elapsed := time.Since(start)
 		stop.Store(true)
 		wg.Wait()
-		res.Samples = append(res.Samples, sample{
+		res.Samples = append(res.Samples, benchcheck.Sample{
 			OpsPerSec: float64(events) / elapsed.Seconds(),
 			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(events),
 		})
 	}
-	res.Median = median(res.Samples, func(s sample) float64 { return -s.OpsPerSec })
+	res.Median = benchcheck.Median(res.Samples, func(s benchcheck.Sample) float64 { return -s.OpsPerSec })
 	return res
 }

@@ -13,16 +13,13 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sort"
-	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/benchcheck"
 	"repro/internal/cred"
 	"repro/internal/id"
 	"repro/internal/itinerary"
@@ -36,146 +33,42 @@ import (
 	"repro/internal/wire"
 )
 
-type sample struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-type result struct {
-	Name    string   `json:"name"`
-	Samples []sample `json:"samples"`
-	Median  sample   `json:"median"`
-}
-
-type report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Count       int      `json:"count"`
-	Results     []result `json:"results"`
-}
-
-type bench struct {
-	name string
-	fn   func(b *testing.B)
-	// deterministic marks codec-only benchmarks whose allocs/op cannot
-	// vary run to run; only these participate in -check.
-	deterministic bool
-}
-
 func main() {
 	count := flag.Int("count", 5, "samples per benchmark")
 	out := flag.String("o", "BENCH_migration.json", "output JSON path")
 	check := flag.String("check", "", "baseline JSON to regression-check against (codec benches only)")
 	flag.Parse()
 
-	benches := []bench{
-		{"codec/record-encode-binary", benchRecordEncodeBinary, true},
-		{"codec/record-decode-binary", benchRecordDecodeBinary, true},
-		{"codec/record-encode-gob", benchRecordEncodeGob, true},
-		{"codec/record-decode-gob", benchRecordDecodeGob, true},
-		{"codec/mail-roundtrip-binary", benchMailRoundTripBinary, true},
-		{"codec/mail-roundtrip-gob", benchMailRoundTripGob, true},
-		{"hop/netsim-wan", benchHopNetsimWAN, false},
-		{"hop/tcp", benchHopTCP, false},
+	benches := []benchcheck.Bench{
+		{Name: "codec/record-encode-binary", Fn: benchRecordEncodeBinary, Deterministic: true},
+		{Name: "codec/record-decode-binary", Fn: benchRecordDecodeBinary, Deterministic: true},
+		{Name: "codec/record-encode-gob", Fn: benchRecordEncodeGob, Deterministic: true},
+		{Name: "codec/record-decode-gob", Fn: benchRecordDecodeGob, Deterministic: true},
+		{Name: "codec/mail-roundtrip-binary", Fn: benchMailRoundTripBinary, Deterministic: true},
+		{Name: "codec/mail-roundtrip-gob", Fn: benchMailRoundTripGob, Deterministic: true},
+		{Name: "hop/netsim-wan", Fn: benchHopNetsimWAN},
+		{Name: "hop/tcp", Fn: benchHopTCP},
 	}
 	if *check != "" {
-		if err := runCheck(*check, benches, *count); err != nil {
+		if err := benchcheck.Check("migrationbench", *check, benches, *count); err != nil {
 			fatal(err)
 		}
 		fmt.Println("migrationbench: regression check passed")
 		return
 	}
 
-	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Count:       *count,
-	}
+	rep := benchcheck.NewReport(*count)
 	for _, bm := range benches {
-		res := run(bm, *count)
+		res := benchcheck.Run(bm, *count)
 		rep.Results = append(rep.Results, res)
 		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op  (median of %d)\n",
-			bm.name, res.Median.NsPerOp, res.Median.BytesPerOp, res.Median.AllocsPerOp, *count)
+			bm.Name, res.Median.NsPerOp, res.Median.BytesPerOp, res.Median.AllocsPerOp, *count)
 	}
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := benchcheck.WriteFile(*out, &rep); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
-}
-
-func run(bm bench, count int) result {
-	res := result{Name: bm.name}
-	for i := 0; i < count; i++ {
-		r := testing.Benchmark(bm.fn)
-		res.Samples = append(res.Samples, sample{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-	}
-	res.Median = median(res.Samples)
-	return res
-}
-
-// runCheck re-runs the deterministic codec benchmarks and fails if
-// allocs/op regressed more than 10% against the committed baseline.
-func runCheck(path string, benches []bench, count int) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
-	}
-	var base report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
-	}
-	baseline := make(map[string]sample, len(base.Results))
-	for _, r := range base.Results {
-		baseline[r.Name] = r.Median
-	}
-	var failures []string
-	for _, bm := range benches {
-		if !bm.deterministic {
-			continue
-		}
-		want, ok := baseline[bm.name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from baseline", bm.name))
-			continue
-		}
-		got := run(bm, count).Median
-		limit := float64(want.AllocsPerOp) * 1.10
-		status := "ok"
-		if float64(got.AllocsPerOp) > limit {
-			status = "REGRESSED"
-			failures = append(failures, fmt.Sprintf(
-				"%s: allocs/op %d exceeds baseline %d by >10%%",
-				bm.name, got.AllocsPerOp, want.AllocsPerOp))
-		}
-		fmt.Printf("%-28s allocs/op %6d (baseline %6d) %s\n",
-			bm.name, got.AllocsPerOp, want.AllocsPerOp, status)
-	}
-	if len(failures) > 0 {
-		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
-	}
-	return nil
-}
-
-func median(s []sample) sample {
-	sorted := append([]sample(nil), s...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NsPerOp < sorted[j].NsPerOp })
-	return sorted[len(sorted)/2]
 }
 
 func fatal(err error) {

@@ -77,6 +77,12 @@ func main() {
 		return
 	}
 
+	// loadgen builds its own fabric and testbed per run.
+	if cmd == "loadgen" {
+		loadgenCmd(rest)
+		return
+	}
+
 	fabric := transport.NewTCPFabric()
 	node, err := fabric.Attach("127.0.0.1:0", func(string, wire.Frame) (wire.Frame, error) {
 		return wire.Frame{}, fmt.Errorf("napletctl serves no requests")
@@ -111,6 +117,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       napletctl -master <addr> fleet {nodes|wave|watch} [flags]")
 	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>[,<metrics-addr>...]")
 	fmt.Fprintln(os.Stderr, "       napletctl spans <metrics-addr> [naplet-id]")
+	fmt.Fprintln(os.Stderr, "       napletctl loadgen [-profile short|mixed|man-sweep] [-fabric netsim-wan|tcp|both] [-loadgen.seed N] [-faults] [-check BENCH_loadgen.json] [-o file]")
 	os.Exit(2)
 }
 

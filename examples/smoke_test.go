@@ -1,0 +1,54 @@
+// Package examples_test smoke-tests every example program: each must
+// build and run to completion with a zero exit status. The examples are
+// the repo's first-contact documentation, so a refactor that breaks one
+// fails CI here instead of on a reader's terminal.
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example programs in -short mode")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+				t.Skipf("%s has no main.go", dir)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out\noutput:\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\noutput:\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

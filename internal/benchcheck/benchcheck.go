@@ -1,0 +1,224 @@
+// Package benchcheck is the shared regression-gate machinery behind the
+// perf-trajectory commands (cmd/migrationbench, cmd/directorybench,
+// cmd/fleetbench, and the loadgen baseline): one JSON report shape, one
+// median/sampling helper, and one -check implementation, so every gate
+// applies the same tolerance math instead of four hand-copied variants.
+//
+// Two kinds of gate live here:
+//
+//   - allocation gates (Check): re-run deterministic testing.B benchmarks
+//     and fail when allocs/op regresses beyond tolerance against the
+//     committed baseline — allocation counts are noise-free, ns/op is
+//     reported but never gated;
+//   - value gates (CompareValues): compare named scalar metrics (byte
+//     counts, ratios) against a committed baseline with a per-metric
+//     direction, for harnesses whose deterministic output is traffic
+//     accounting rather than allocations.
+package benchcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultTolerance is the fractional drift every gate allows before
+// failing (10%).
+const DefaultTolerance = 0.10
+
+// Sample is one benchmark measurement.
+type Sample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+}
+
+// Result is one benchmark's samples plus the median the gate reads.
+type Result struct {
+	Name    string   `json:"name"`
+	Samples []Sample `json:"samples"`
+	Median  Sample   `json:"median"`
+}
+
+// Report is the common envelope of every BENCH_*.json file. Commands with
+// extra fields embed it.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Count       int      `json:"count"`
+	Results     []Result `json:"results"`
+}
+
+// NewReport stamps the environment fields.
+func NewReport(count int) Report {
+	return Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Count:       count,
+	}
+}
+
+// WriteFile marshals any report shape (typically a struct embedding
+// Report) to path with a trailing newline.
+func WriteFile(path string, rep any) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Bench is one named benchmark in a command's suite.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+	// Deterministic marks benchmarks whose allocs/op cannot vary run to
+	// run; only these participate in Check.
+	Deterministic bool
+}
+
+// Run samples a benchmark count times and medians by ns/op.
+func Run(bm Bench, count int) Result {
+	res := Result{Name: bm.Name}
+	for i := 0; i < count; i++ {
+		r := testing.Benchmark(bm.Fn)
+		res.Samples = append(res.Samples, Sample{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	res.Median = Median(res.Samples, func(s Sample) float64 { return s.NsPerOp })
+	return res
+}
+
+// Median returns the middle sample ordered by key.
+func Median(s []Sample, key func(Sample) float64) Sample {
+	sorted := append([]Sample(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
+	return sorted[len(sorted)/2]
+}
+
+// Regressed reports whether got drifted beyond tol (a fraction, e.g. 0.10)
+// from base in the bad direction. With higherIsWorse, regression means got
+// > base*(1+tol); otherwise got < base*(1-tol). A zero base treats any
+// nonzero got as a regression when higher is worse (the baseline promised
+// zero allocations — a new allocation is always a regression), and never
+// regresses otherwise (there is nothing left to lose).
+func Regressed(got, base, tol float64, higherIsWorse bool) bool {
+	if higherIsWorse {
+		if base == 0 {
+			return got > 0
+		}
+		return got > base*(1+tol)
+	}
+	if base == 0 {
+		return false
+	}
+	return got < base*(1-tol)
+}
+
+// Check re-runs the deterministic benchmarks of a suite and compares
+// allocs/op against the committed baseline at path: a regression beyond
+// DefaultTolerance fails, and so does a deterministic benchmark missing
+// from the baseline (a silently ungated bench is how drift hides).
+// Progress lines go to stdout prefixed with the command name.
+func Check(cmd, path string, benches []Bench, count int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	baseline := make(map[string]Sample, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r.Median
+	}
+	var failures []string
+	for _, bm := range benches {
+		if !bm.Deterministic {
+			continue
+		}
+		want, ok := baseline[bm.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", bm.Name))
+			continue
+		}
+		got := Run(bm, count).Median
+		status := "ok"
+		if Regressed(float64(got.AllocsPerOp), float64(want.AllocsPerOp), DefaultTolerance, true) {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %d exceeds baseline %d by >%.0f%%",
+				bm.Name, got.AllocsPerOp, want.AllocsPerOp, 100*DefaultTolerance))
+		}
+		fmt.Printf("%-36s allocs/op %6d (baseline %6d) %s\n",
+			bm.Name, got.AllocsPerOp, want.AllocsPerOp, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s: allocation regressions:\n  %s", cmd, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// Value is one gated scalar in a value-style baseline.
+type Value struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// HigherIsWorse sets the regression direction: true for byte counts
+	// and latencies, false for ratios and throughputs where shrinking is
+	// the regression.
+	HigherIsWorse bool `json:"higher_is_worse"`
+	// Gate marks values that participate in CompareValues; ungated
+	// values are trajectory context only.
+	Gate bool `json:"gate,omitempty"`
+	// Tolerance overrides DefaultTolerance when > 0.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// CompareValues checks measured values against a baseline list. Every
+// gated baseline entry must be present in got and within tolerance in its
+// direction; a gated entry missing from got is a failure (the harness
+// stopped measuring something it used to gate). Returns the failure
+// descriptions, empty on success.
+func CompareValues(baseline []Value, got map[string]float64) []string {
+	var failures []string
+	for _, v := range baseline {
+		if !v.Gate {
+			continue
+		}
+		g, ok := got[v.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from this run", v.Name))
+			continue
+		}
+		tol := v.Tolerance
+		if tol <= 0 {
+			tol = DefaultTolerance
+		}
+		if Regressed(g, v.Value, tol, v.HigherIsWorse) {
+			dir := "exceeds"
+			if !v.HigherIsWorse {
+				dir = "fell below"
+			}
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.4g %s baseline %.4g by >%.0f%%", v.Name, g, dir, v.Value, 100*tol))
+		}
+	}
+	return failures
+}

@@ -1,0 +1,139 @@
+package benchcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegressedToleranceMath(t *testing.T) {
+	cases := []struct {
+		name          string
+		got, base     float64
+		tol           float64
+		higherIsWorse bool
+		want          bool
+	}{
+		{"exactly-at-limit-passes", 110, 100, 0.10, true, false},
+		{"just-over-limit-fails", 110.01, 100, 0.10, true, true},
+		{"improvement-passes", 50, 100, 0.10, true, false},
+		{"zero-base-zero-got", 0, 0, 0.10, true, false},
+		{"zero-base-any-alloc-fails", 1, 0, 0.10, true, true},
+		{"lower-worse-at-limit-passes", 90, 100, 0.10, false, false},
+		{"lower-worse-below-limit-fails", 89.99, 100, 0.10, false, true},
+		{"lower-worse-improvement-passes", 200, 100, 0.10, false, false},
+		{"lower-worse-zero-base-passes", 0, 0, 0.10, false, false},
+		{"tight-tolerance", 101, 100, 0.005, true, true},
+	}
+	for _, tc := range cases {
+		if got := Regressed(tc.got, tc.base, tc.tol, tc.higherIsWorse); got != tc.want {
+			t.Errorf("%s: Regressed(%v, %v, %v, %v) = %v, want %v",
+				tc.name, tc.got, tc.base, tc.tol, tc.higherIsWorse, got, tc.want)
+		}
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	baseline := []Value{
+		{Name: "bytes_cnmp", Value: 1000, HigherIsWorse: true, Gate: true},
+		{Name: "byte_ratio", Value: 8.0, HigherIsWorse: false, Gate: true},
+		{Name: "hop_p99_ms", Value: 3.0, HigherIsWorse: true}, // ungated context
+	}
+
+	t.Run("within-tolerance-passes", func(t *testing.T) {
+		got := map[string]float64{"bytes_cnmp": 1050, "byte_ratio": 7.5}
+		if f := CompareValues(baseline, got); len(f) != 0 {
+			t.Fatalf("unexpected failures: %v", f)
+		}
+	})
+	t.Run("byte-growth-fails", func(t *testing.T) {
+		got := map[string]float64{"bytes_cnmp": 1200, "byte_ratio": 8.0}
+		f := CompareValues(baseline, got)
+		if len(f) != 1 || !strings.Contains(f[0], "bytes_cnmp") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+	t.Run("ratio-shrink-fails", func(t *testing.T) {
+		got := map[string]float64{"bytes_cnmp": 1000, "byte_ratio": 5.0}
+		f := CompareValues(baseline, got)
+		if len(f) != 1 || !strings.Contains(f[0], "byte_ratio") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+	t.Run("gated-key-missing-from-run-fails", func(t *testing.T) {
+		got := map[string]float64{"byte_ratio": 8.0}
+		f := CompareValues(baseline, got)
+		if len(f) != 1 || !strings.Contains(f[0], "missing from this run") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+	t.Run("ungated-key-drift-ignored", func(t *testing.T) {
+		got := map[string]float64{"bytes_cnmp": 1000, "byte_ratio": 8.0, "hop_p99_ms": 300}
+		if f := CompareValues(baseline, got); len(f) != 0 {
+			t.Fatalf("ungated value should not gate: %v", f)
+		}
+	})
+}
+
+func TestCheckMissingBenchAndRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	rep := NewReport(1)
+	rep.Results = []Result{{Name: "codec/known", Median: Sample{AllocsPerOp: 0}}}
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// allocBench allocates on purpose: against a 0-alloc baseline this is
+	// always a regression.
+	allocBench := Bench{Name: "codec/known", Deterministic: true, Fn: func(b *testing.B) {
+		b.ReportAllocs()
+		var sink []byte
+		for i := 0; i < b.N; i++ {
+			sink = make([]byte, 64)
+		}
+		_ = sink
+	}}
+	cleanBench := Bench{Name: "codec/clean", Deterministic: true, Fn: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+		}
+	}}
+
+	err := Check("testcmd", path, []Bench{allocBench, cleanBench}, 1)
+	if err == nil {
+		t.Fatal("Check passed; want regression + missing-key failure")
+	}
+	if !strings.Contains(err.Error(), "codec/known") || !strings.Contains(err.Error(), "exceeds baseline") {
+		t.Errorf("missing allocation regression in: %v", err)
+	}
+	if !strings.Contains(err.Error(), "codec/clean: missing from baseline") {
+		t.Errorf("missing missing-key failure in: %v", err)
+	}
+
+	// A matching baseline passes.
+	rep.Results = []Result{
+		{Name: "codec/known", Median: Sample{AllocsPerOp: 1}},
+		{Name: "codec/clean", Median: Sample{AllocsPerOp: 0}},
+	}
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("testcmd", path, []Bench{allocBench, cleanBench}, 1); err != nil {
+		t.Fatalf("Check failed against matching baseline: %v", err)
+	}
+}
+
+func TestCheckUnreadableBaseline(t *testing.T) {
+	if err := Check("testcmd", filepath.Join(t.TempDir(), "nope.json"), nil, 1); err == nil {
+		t.Fatal("want error for missing baseline file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("testcmd", bad, nil, 1); err == nil {
+		t.Fatal("want error for unparseable baseline file")
+	}
+}

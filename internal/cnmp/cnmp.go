@@ -65,6 +65,9 @@ func AttachResponder(fabric transport.Fabric, addr string, dev *snmp.Device) (*R
 	return r, nil
 }
 
+// Addr is the responder's resolved fabric address.
+func (r *Responder) Addr() string { return r.node.Addr() }
+
 // Served reports how many requests the responder has answered.
 func (r *Responder) Served() int64 { return r.served.Load() }
 

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E10
+// Package experiments implements the reproduction experiments E1–E11
 // catalogued in DESIGN.md and EXPERIMENTS.md. Each experiment regenerates
 // one figure or claim of the Naplet paper as a printed table; cmd/manbench
 // runs them from the command line and the root bench_test.go wraps their
@@ -32,7 +32,7 @@ type Options struct {
 
 // Experiment is one runnable experiment.
 type Experiment struct {
-	// ID is the experiment identifier ("e1".."e10").
+	// ID is the experiment identifier ("e1".."e11").
 	ID string
 	// Title describes what it reproduces.
 	Title string
@@ -53,6 +53,7 @@ func All() []Experiment {
 		{ID: "e8", Title: "§5.3: service channels vs open services", Run: E8ServiceChannel},
 		{ID: "e9", Title: "§5.2: monitor scheduling and resource budgets", Run: E9Monitor},
 		{ID: "e10", Title: "event monitoring: trap forwarding vs on-site filtering naplets", Run: E10EventMonitoring},
+		{ID: "e11", Title: "§6 at scale: enterprise MAN sweep under sustained load and faults", Run: E11EnterpriseSweep},
 	}
 }
 

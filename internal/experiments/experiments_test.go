@@ -33,7 +33,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("e99"); ok {
 		t.Fatal("e99 must not exist")
 	}
-	if len(All()) != 10 {
+	if len(All()) != 11 {
 		t.Fatalf("experiment count = %d", len(All()))
 	}
 }

@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchcheck"
+)
+
+// Baseline is the committed BENCH_loadgen.json: the trajectory record of
+// one canonical short-profile netsim run, with the deterministic byte
+// metrics gated and the wall-clock metrics recorded as context only.
+type Baseline struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	Profile     string             `json:"profile"`
+	Fabric      string             `json:"fabric"`
+	Seed        int64              `json:"seed"`
+	PlanDigest  string             `json:"plan_digest"`
+	Values      []benchcheck.Value `json:"values"`
+}
+
+// NewBaseline flattens a run into a committable baseline. Byte counts and
+// delivery totals are deterministic on netsim (TimeScale 0, no faults) so
+// they gate tightly; latency and elapsed-time scalars ride along ungated
+// because wall clock on a shared CI machine is not a regression signal.
+func NewBaseline(res *Result) *Baseline {
+	b := &Baseline{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Profile:     res.Profile,
+		Fabric:      res.Fabric,
+		Seed:        res.Seed,
+		PlanDigest:  res.PlanDigest,
+	}
+	gated := map[string]benchcheck.Value{
+		// Work totals: exact on a deterministic plan; any drop means lost
+		// tours or messages.
+		"tours_completed":    {HigherIsWorse: false, Tolerance: 0.001},
+		"messages_delivered": {HigherIsWorse: false, Tolerance: 0.001},
+		"landings":           {HigherIsWorse: false, Tolerance: 0.001},
+		// Wire bytes at the stations: growth is protocol bloat.
+		"cnmp_station_bytes":   {HigherIsWorse: true, Tolerance: 0.15},
+		"naplet_station_bytes": {HigherIsWorse: true, Tolerance: 0.15},
+		// The §6 claim itself: CNMP must stay this much heavier.
+		"byte_ratio": {HigherIsWorse: false, Tolerance: 0.15},
+	}
+	for name, val := range res.Metrics {
+		v := benchcheck.Value{Name: name, Value: val}
+		if g, ok := gated[name]; ok {
+			v.Gate = true
+			v.HigherIsWorse = g.HigherIsWorse
+			v.Tolerance = g.Tolerance
+		}
+		b.Values = append(b.Values, v)
+	}
+	sortValues(b.Values)
+	return b
+}
+
+func sortValues(vs []benchcheck.Value) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j].Name < vs[j-1].Name; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// WriteBaseline writes the baseline file.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// CheckBaseline replays the baseline's exact configuration (profile,
+// fabric, seed) and compares the gated metrics. It returns the failure
+// list — empty means the gate passed — and err for harness breakage.
+func (b *Baseline) Check(res *Result) []string {
+	var failures []string
+	if res.PlanDigest != b.PlanDigest && b.PlanDigest != "" {
+		failures = append(failures, fmt.Sprintf(
+			"plan digest %s, baseline %s — the seeded schedule drifted", res.PlanDigest, b.PlanDigest))
+	}
+	failures = append(failures, benchcheck.CompareValues(b.Values, res.Metrics)...)
+	failures = append(failures, res.Violations...)
+	return failures
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkGoroutines wraps a test body with a goroutine-leak check: every
+// goroutine the run spawns (server loops, chase senders, sweep waves)
+// must drain after the testbed closes. Polled because close is
+// asynchronous — workers observe shutdown at their next select.
+func checkGoroutines(t *testing.T, body func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	body()
+	deadline := time.Now().Add(10 * time.Second)
+	var after int
+	for {
+		runtime.GC() // finalize dropped timers before counting
+		after = runtime.NumGoroutine()
+		if after <= before+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if after > before+2 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after drain\n%s", before, after, buf[:n])
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	prof := Profiles["short"]
+	a := BuildPlan(prof, 42, true)
+	b := BuildPlan(prof, 42, true)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed, digests differ: %s vs %s", a.Digest(), b.Digest())
+	}
+	if c := BuildPlan(prof, 43, true); c.Digest() == a.Digest() {
+		t.Fatalf("different seeds collided on digest %s", a.Digest())
+	}
+	if len(a.Tours) != prof.SeqTours+prof.ParTours {
+		t.Fatalf("plan has %d tours, want %d", len(a.Tours), prof.SeqTours+prof.ParTours)
+	}
+	if len(a.Schedule) == 0 {
+		t.Fatal("fault plan has no scripted schedule")
+	}
+	for _, s := range a.Schedule {
+		if s.AfterCalls <= 0 {
+			t.Fatalf("schedule step at call %d never fires", s.AfterCalls)
+		}
+	}
+}
+
+func TestShortProfileNetsim(t *testing.T) {
+	checkGoroutines(t, func() {
+		var out bytes.Buffer
+		res, err := Run(context.Background(), Config{
+			Profile: Profiles["short"],
+			Fabric:  FabricNetsimWAN,
+			Seed:    1,
+			Out:     &out,
+		})
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations: %v\n%s", res.Violations, out.String())
+		}
+		prof := Profiles["short"]
+		if res.ToursCompleted != prof.SeqTours+prof.ParTours {
+			t.Fatalf("tours %d, want %d", res.ToursCompleted, prof.SeqTours+prof.ParTours)
+		}
+		if want := prof.Chases * prof.MsgsPerChase; res.MessagesDelivered != want {
+			t.Fatalf("messages %d, want %d", res.MessagesDelivered, want)
+		}
+		if res.NapletBytes == 0 || res.CNMPBytes == 0 {
+			t.Fatalf("sweep byte accounting missing: cnmp=%d naplet=%d", res.CNMPBytes, res.NapletBytes)
+		}
+		for _, key := range []string{"tours_completed", "messages_delivered", "landings", "byte_ratio", "hop_p99_ms"} {
+			if _, ok := res.Metrics[key]; !ok {
+				t.Errorf("metric %q missing", key)
+			}
+		}
+	})
+}
+
+func TestShortProfileTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp rig in -short mode")
+	}
+	checkGoroutines(t, func() {
+		var out bytes.Buffer
+		res, err := Run(context.Background(), Config{
+			Profile: Profiles["short"],
+			Fabric:  FabricTCP,
+			Seed:    1,
+			Out:     &out,
+		})
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations: %v\n%s", res.Violations, out.String())
+		}
+		// TCP has no netsim byte accounting; work totals must still hold.
+		prof := Profiles["short"]
+		if res.ToursCompleted != prof.SeqTours+prof.ParTours {
+			t.Fatalf("tours %d, want %d", res.ToursCompleted, prof.SeqTours+prof.ParTours)
+		}
+	})
+}
+
+// TestSeededFaultReplay is the chaos-style determinism contract: the same
+// seed must build the same fault schedule (byte-identical plan digest),
+// and the run must reconcile exactly-once delivery through the injected
+// crash, partition, drop and duplicate faults.
+func TestSeededFaultReplay(t *testing.T) {
+	run := func() (*Result, string) {
+		var out bytes.Buffer
+		res, err := Run(context.Background(), Config{
+			Profile: Profiles["short"],
+			Fabric:  FabricNetsimLAN,
+			Seed:    7,
+			Faults:  true,
+			Out:     &out,
+		})
+		if err != nil {
+			t.Fatalf("fault run: %v\n%s", err, out.String())
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("fault run violations: %v\n%s", res.Violations, out.String())
+		}
+		return res, out.String()
+	}
+	checkGoroutines(t, func() {
+		a, _ := run()
+		b, _ := run()
+		if a.PlanDigest != b.PlanDigest {
+			t.Fatalf("replay digest drifted: %s vs %s", a.PlanDigest, b.PlanDigest)
+		}
+		// Work totals are part of the exactly-once contract and must
+		// replay exactly even though fault timing interleaves differently.
+		for _, key := range []string{"tours_completed", "messages_delivered", "landings"} {
+			if a.Metrics[key] != b.Metrics[key] {
+				t.Errorf("replay %s drifted: %v vs %v", key, a.Metrics[key], b.Metrics[key])
+			}
+		}
+	})
+}
+
+func TestFaultsRejectedOnTCP(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Profile: Profiles["short"],
+		Fabric:  FabricTCP,
+		Faults:  true,
+	})
+	if err == nil {
+		t.Fatal("faults on TCP should be rejected")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	res := &Result{
+		Profile: "short", Fabric: FabricNetsimWAN, Seed: 1, PlanDigest: "abc",
+		Metrics: map[string]float64{
+			"tours_completed": 28, "byte_ratio": 2.5, "elapsed_ms": 1234,
+		},
+	}
+	b := NewBaseline(res)
+	path := t.TempDir() + "/BENCH_loadgen.json"
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := got.Check(res); len(fails) != 0 {
+		t.Fatalf("self-check failed: %v", fails)
+	}
+	// A collapsed byte ratio must trip the gate; elapsed time must not.
+	worse := &Result{PlanDigest: "abc", Metrics: map[string]float64{
+		"tours_completed": 28, "byte_ratio": 1.0, "elapsed_ms": 99999,
+	}}
+	fails := got.Check(worse)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly the byte_ratio failure, got %v", fails)
+	}
+	// A drifted plan digest is its own failure.
+	if fails := got.Check(&Result{PlanDigest: "zzz", Metrics: res.Metrics}); len(fails) != 1 {
+		t.Fatalf("want digest failure, got %v", fails)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/snmp"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // TestbedConfig parameterizes a simulated managed network: the rig behind
@@ -33,14 +35,42 @@ type TestbedConfig struct {
 	BundleSize int
 	// Community is the SNMP read community.
 	Community string
+
+	// Fabric, when set, overrides the internally-built netsim network —
+	// the loadgen harness passes a fault-wrapped simulator or a real TCP
+	// fabric here. With an override, Net stays nil and byte accounting
+	// via HostStats is unavailable; Link/TimeScale are ignored.
+	Fabric transport.Fabric
+	// AttachAddr maps a logical host name ("dev3", "dev3:161", "station")
+	// to the address handed to Fabric.Attach. Nil is the identity (netsim
+	// symbolic names); a TCP rig returns "127.0.0.1:0" and the resolved
+	// listen addresses become the testbed's names.
+	AttachAddr func(host string) string
+	// Telemetry, when set, is shared by every naplet server in the rig so
+	// hop-latency, confirm-RTT and transport-byte series aggregate across
+	// the whole testbed.
+	Telemetry *telemetry.Registry
+	// Tune, when set, adjusts each naplet server's config (retries,
+	// messenger knobs, failover behavior) just before server.New.
+	Tune func(*server.Config)
 }
 
 // Testbed is a complete simulated managed network: a fabric, N managed
 // devices each hosting a naplet server (with the NetManagement privileged
 // service) and an SNMP responder, a MAN station, and a CNMP station.
 type Testbed struct {
+	// Net is the simulated network, nil when TestbedConfig.Fabric
+	// overrode it.
 	Net *netsim.Network
-	Reg *registry.Registry
+	// Fabric is the transport every host attached to (Net unless
+	// overridden).
+	Fabric transport.Fabric
+	Reg    *registry.Registry
+
+	// StationName and CNMPName are the stations' resolved fabric
+	// addresses (StationHost/CNMPHost unless AttachAddr remapped them).
+	StationName string
+	CNMPName    string
 
 	// Devices are the simulated managed devices.
 	Devices []*snmp.Device
@@ -72,14 +102,33 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if cfg.Community == "" {
 		cfg.Community = "public"
 	}
-	tb := &Testbed{
-		Net: netsim.New(netsim.Config{
+	tb := &Testbed{Reg: registry.New()}
+	if cfg.Fabric != nil {
+		tb.Fabric = cfg.Fabric
+	} else {
+		tb.Net = netsim.New(netsim.Config{
 			DefaultLink: cfg.Link,
 			TimeScale:   cfg.TimeScale,
 			Seed:        cfg.Seed,
 			CallTimeout: 5 * time.Second,
-		}),
-		Reg: registry.New(),
+		})
+		tb.Fabric = tb.Net
+	}
+	attach := cfg.AttachAddr
+	if attach == nil {
+		attach = func(host string) string { return host }
+	}
+	newServer := func(name string) (*server.Server, error) {
+		scfg := server.Config{
+			Name:      attach(name),
+			Fabric:    tb.Fabric,
+			Registry:  tb.Reg,
+			Telemetry: cfg.Telemetry,
+		}
+		if cfg.Tune != nil {
+			cfg.Tune(&scfg)
+		}
+		return server.New(scfg)
 	}
 	if err := RegisterCodebase(tb.Reg, cfg.BundleSize); err != nil {
 		return nil, err
@@ -98,11 +147,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			Seed:       cfg.Seed + int64(i),
 			ExtraVars:  cfg.ExtraVars,
 		})
-		srv, err := server.New(server.Config{
-			Name:     name,
-			Fabric:   tb.Net,
-			Registry: tb.Reg,
-		})
+		srv, err := newServer(name)
 		if err != nil {
 			tb.Close()
 			return nil, err
@@ -115,41 +160,42 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			tb.Close()
 			return nil, err
 		}
-		responderAddr := name + ":161"
-		resp, err := cnmp.AttachResponder(tb.Net, responderAddr, dev)
+		resp, err := cnmp.AttachResponder(tb.Fabric, attach(name+":161"), dev)
 		if err != nil {
 			tb.Close()
 			return nil, err
 		}
 		tb.Devices = append(tb.Devices, dev)
-		tb.DeviceNames = append(tb.DeviceNames, name)
-		tb.ResponderNames = append(tb.ResponderNames, responderAddr)
+		tb.DeviceNames = append(tb.DeviceNames, srv.Name())
+		tb.ResponderNames = append(tb.ResponderNames, resp.Addr())
 		tb.servers = append(tb.servers, srv)
 		tb.responders = append(tb.responders, resp)
 	}
 
 	// MAN station.
-	home, err := server.New(server.Config{
-		Name:     StationHost,
-		Fabric:   tb.Net,
-		Registry: tb.Reg,
-	})
+	home, err := newServer(StationHost)
 	if err != nil {
 		tb.Close()
 		return nil, err
 	}
 	tb.servers = append(tb.servers, home)
+	tb.StationName = home.Name()
 	tb.Station = &Station{Server: home, Owner: "czxu"}
 
 	// CNMP station.
-	cs, err := cnmp.NewStation(tb.Net, CNMPHost)
+	cs, err := cnmp.NewStation(tb.Fabric, attach(CNMPHost))
 	if err != nil {
 		tb.Close()
 		return nil, err
 	}
 	tb.CNMP = cs
+	tb.CNMPName = cs.Node().Addr()
 	return tb, nil
 }
+
+// Servers exposes the device and station naplet servers (devices first,
+// station last) for harnesses that need direct handles.
+func (tb *Testbed) Servers() []*server.Server { return tb.servers }
 
 // Tick advances every device's workload by dt.
 func (tb *Testbed) Tick(dt time.Duration) {

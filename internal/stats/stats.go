@@ -18,7 +18,26 @@ type Summary struct {
 	N            int
 	Mean, Stddev float64
 	Min, P50     float64
-	P95, Max     float64
+	P95, P99     float64
+	Max          float64
+}
+
+// QuantileOf returns the summary's precomputed value for q. Only the
+// retained quantiles (0, 0.5, 0.95, 0.99, 1) are available; q picks the
+// nearest of those, so SLO definitions stay honest about what was kept.
+func (s Summary) QuantileOf(q float64) float64 {
+	switch {
+	case q <= 0.25:
+		return s.Min
+	case q <= 0.725:
+		return s.P50
+	case q <= 0.97:
+		return s.P95
+	case q <= 0.995:
+		return s.P99
+	default:
+		return s.Max
+	}
 }
 
 // Summarize computes a Summary; an empty input yields the zero Summary.
@@ -41,14 +60,15 @@ func Summarize(samples []float64) Summary {
 		Mean:   mean,
 		Stddev: math.Sqrt(sq / float64(len(s))),
 		Min:    s[0],
-		P50:    quantile(s, 0.50),
-		P95:    quantile(s, 0.95),
+		P50:    Quantile(s, 0.50),
+		P95:    Quantile(s, 0.95),
+		P99:    Quantile(s, 0.99),
 		Max:    s[len(s)-1],
 	}
 }
 
-// quantile interpolates the q-quantile of sorted samples.
-func quantile(sorted []float64, q float64) float64 {
+// Quantile interpolates the q-quantile of sorted samples.
+func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

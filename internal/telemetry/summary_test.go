@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestHistogramSummaryConcurrent hammers one histogram from many
+// goroutines while Summary runs concurrently, then checks the settled
+// window for bias: every retained sample must be a value some goroutine
+// actually observed (the ring is atomic — no torn floats, no zeros from
+// unwritten slots once the window is full), and the window size must be
+// exactly min(count, 256). Run under -race this also proves the
+// observe/summarize paths are data-race free.
+func TestHistogramSummaryConcurrent(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	const (
+		goroutines = 8
+		perG       = 4096
+	)
+	valid := map[float64]bool{}
+	for g := 0; g < goroutines; g++ {
+		valid[float64(g+1)] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: results are unchecked (a mid-flight window may
+	// contain unwritten slots) but must not race or panic.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Summary()
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(v float64) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(v)
+			}
+		}(float64(g + 1))
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got, want := h.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	sum := h.Summary()
+	if sum.N != summaryWindow {
+		t.Fatalf("summary window N = %d, want %d", sum.N, summaryWindow)
+	}
+	if !valid[sum.Min] || !valid[sum.Max] || !valid[sum.P50] {
+		t.Fatalf("summary contains values never observed: min=%v p50=%v max=%v",
+			sum.Min, sum.P50, sum.Max)
+	}
+	// The cumulative bucket counts must account for every observation.
+	snap := h.Snapshot()
+	if snap.Cumulative[len(snap.Cumulative)-1] != uint64(goroutines*perG) {
+		t.Fatalf("cumulative total = %d, want %d",
+			snap.Cumulative[len(snap.Cumulative)-1], goroutines*perG)
+	}
+}
+
+// TestHistogramSummaryWindowExact fills the ring with a known distribution
+// and checks the order statistics against exact values: the SLO gate's
+// numbers have to be trustworthy, not merely plausible.
+func TestHistogramSummaryWindowExact(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	// Observe 1..256 in order; the window holds exactly these.
+	for i := 1; i <= summaryWindow; i++ {
+		h.Observe(float64(i))
+	}
+	sum := h.Summary()
+	if sum.N != summaryWindow {
+		t.Fatalf("N = %d, want %d", sum.N, summaryWindow)
+	}
+	if sum.Min != 1 || sum.Max != 256 {
+		t.Fatalf("min/max = %v/%v, want 1/256", sum.Min, sum.Max)
+	}
+	wantP50 := stats.Quantile(seq(1, 256), 0.50)
+	if math.Abs(sum.P50-wantP50) > 1e-9 {
+		t.Fatalf("P50 = %v, want %v", sum.P50, wantP50)
+	}
+	wantP99 := stats.Quantile(seq(1, 256), 0.99)
+	if math.Abs(sum.P99-wantP99) > 1e-9 {
+		t.Fatalf("P99 = %v, want %v", sum.P99, wantP99)
+	}
+
+	// Overflow the ring: the window must slide to the most recent 256
+	// observations, not stay biased toward the first ones.
+	for i := 1000; i < 1000+summaryWindow; i++ {
+		h.Observe(float64(i))
+	}
+	sum = h.Summary()
+	if sum.Min < 1000 {
+		t.Fatalf("window kept stale sample: min = %v", sum.Min)
+	}
+}
+
+// TestSummaryQuantileAccuracy checks Summarize's quantiles against a known
+// uniform distribution at a size larger than the ring, pinning the
+// interpolation semantics the SLO table reports.
+func TestSummaryQuantileAccuracy(t *testing.T) {
+	n := 1000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(i) // uniform 0..999
+	}
+	sum := stats.Summarize(samples)
+	for _, tc := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", sum.P50, 499.5},
+		{"p95", sum.P95, 949.05},
+		{"p99", sum.P99, 989.01},
+		{"max", sum.Max, 999},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-6 {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+func TestCheckSLO(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("naplet_test_latency_seconds", "", LatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.010) // 10ms flat
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(0.500) // outlier tail: past the p99 of a 105-sample window
+	}
+
+	all, violated := reg.CheckSLOs([]SLO{
+		{Name: "p50-ok", Series: "naplet_test_latency_seconds", Quantile: 0.50, Max: 0.020},
+		{Name: "p99-violated", Series: "naplet_test_latency_seconds", Quantile: 0.99, Max: 0.020},
+		{Name: "missing-series", Series: "naplet_test_nosuch_seconds", Quantile: 0.99, Max: 1},
+	})
+	if len(all) != 3 {
+		t.Fatalf("got %d results", len(all))
+	}
+	if all[0].Violated || all[0].Skipped {
+		t.Fatalf("p50 objective should pass: %+v", all[0])
+	}
+	if !all[1].Violated {
+		t.Fatalf("p99 objective should be violated: %+v", all[1])
+	}
+	if !all[2].Skipped {
+		t.Fatalf("missing series should be skipped, not judged: %+v", all[2])
+	}
+	if len(violated) != 1 || violated[0].Name != "p99-violated" {
+		t.Fatalf("violated = %+v", violated)
+	}
+}
