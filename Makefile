@@ -7,7 +7,7 @@ verify:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/... ./internal/directory/... ./internal/locator/... ./internal/fleet/...
+	go test -race ./internal/wire/... ./internal/transport/... ./internal/netsim/... ./internal/telemetry/... ./internal/messenger/... ./internal/fault/... ./internal/health/... ./internal/dock/... ./internal/naplet/... ./internal/state/... ./internal/directory/... ./internal/locator/... ./internal/fleet/... ./internal/overload/...
 	go run ./cmd/migrationbench -check BENCH_migration.json
 	go run ./cmd/directorybench -check BENCH_directory.json
 	go run ./cmd/fleetbench -check BENCH_fleet.json
@@ -24,11 +24,15 @@ verify:
 # plus the fleet suite that crash-kills a dock mid-launch-wave and asserts
 # the master reschedules its launches with exactly-once landings while a
 # slow event subscriber is shed without stalling ingest
-# (TestChaosFleetSeeds). Reproduce a failing seed with:
+# (TestChaosFleetSeeds), plus the overload suite that runs the fleet
+# through synthesized overload sheds with the admission gate, breakers
+# and retry budgets live, and reconciles every shed against the injector
+# trail and telemetry (TestChaosOverloadSeeds). Reproduce a failing seed
+# with:
 # go test ./internal/server/ -run TestChaos -chaos.seed=N -v
 # go test ./internal/fleet/  -run TestChaos -chaos.seed=N -v
 chaos:
-	go test -race -count=1 -run 'TestChaosSeeds|TestChaosRestartSeeds|TestChaosDirectorySeeds' ./internal/server/
+	go test -race -count=1 -run 'TestChaosSeeds|TestChaosRestartSeeds|TestChaosDirectorySeeds|TestChaosOverloadSeeds' ./internal/server/
 	go test -race -count=1 -run 'TestChaosFleetSeeds' ./internal/fleet/
 
 # bench regenerates BENCH_wire.json, the codec/fabric perf baseline future
@@ -81,10 +85,12 @@ loadgen:
 # bench-loadgen regenerates BENCH_loadgen.json, the loadgen trajectory
 # baseline: work totals and station byte counts of the deterministic
 # short-profile netsim run are gated; latency scalars ride along as
-# context. `napletctl loadgen -check` (run by verify) replays the
-# recorded profile/fabric/seed and fails on gated drift.
+# context. The overload-resilience scenario is recorded as an extra run:
+# `napletctl loadgen -check` (run by verify) replays the recorded
+# profile/fabric/seed, then replays each extra and fails on its own
+# violations (goodput floor, control-plane SLO, shed reconciliation).
 bench-loadgen:
-	go run ./cmd/napletctl loadgen -profile short -fabric netsim-wan -o BENCH_loadgen.json
+	go run ./cmd/napletctl loadgen -profile short -fabric netsim-wan -extra overload:netsim-lan -o BENCH_loadgen.json
 
 # bench-fleet regenerates BENCH_fleet.json: the fleet control plane's
 # protocol codecs, broadcaster fan-out with 64 live subscribers, the

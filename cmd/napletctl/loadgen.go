@@ -26,6 +26,7 @@ func loadgenCmd(args []string) {
 	faults := fs.Bool("faults", false, "enable seeded fault injection (netsim fabrics only)")
 	check := fs.String("check", "", "compare a run against this baseline JSON and exit non-zero on regression")
 	out := fs.String("o", "", "write the run's baseline JSON here (trajectory record)")
+	extra := fs.String("extra", "", "comma-separated profile:fabric runs to record alongside the main one (with -o); replayed by -check")
 	fs.Parse(args)
 
 	prof, ok := loadgen.Profiles[*profile]
@@ -57,7 +58,26 @@ func loadgenCmd(args []string) {
 			fmt.Fprintf(os.Stderr, "napletctl loadgen: %v\n", err)
 			os.Exit(1)
 		}
-		if fails := base.Check(res); len(fails) > 0 {
+		fails := base.Check(res)
+		// Replay the recorded extra runs (the overload scenario chiefly):
+		// each judges itself through its own Violations.
+		for _, e := range base.Extra {
+			eprof, ok := loadgen.Profiles[e.Profile]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("extra run names unknown profile %q", e.Profile))
+				continue
+			}
+			fmt.Println()
+			eres, err := loadgen.Run(context.Background(), loadgen.Config{
+				Profile: eprof, Fabric: e.Fabric, Seed: e.Seed, Out: os.Stdout,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "napletctl loadgen: extra %s/%s: %v\n", e.Profile, e.Fabric, err)
+				os.Exit(1)
+			}
+			fails = append(fails, e.Check(eres)...)
+		}
+		if len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "napletctl loadgen: %d regressions vs %s:\n", len(fails), *check)
 			for _, f := range fails {
 				fmt.Fprintf(os.Stderr, "  - %s\n", f)
@@ -103,7 +123,31 @@ func loadgenCmd(args []string) {
 		last = res
 	}
 	if *out != "" && last != nil {
-		if err := loadgen.WriteBaseline(*out, loadgen.NewBaseline(last)); err != nil {
+		base := loadgen.NewBaseline(last)
+		for _, spec := range strings.Split(*extra, ",") {
+			if spec == "" {
+				continue
+			}
+			pname, fb, ok := strings.Cut(spec, ":")
+			eprof, have := loadgen.Profiles[pname]
+			if !ok || !have {
+				fmt.Fprintf(os.Stderr, "napletctl loadgen: -extra wants profile:fabric with a known profile, got %q\n", spec)
+				os.Exit(2)
+			}
+			fmt.Println()
+			eres, err := loadgen.Run(context.Background(), loadgen.Config{
+				Profile: eprof, Fabric: fb, Seed: *seed, Out: os.Stdout,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "napletctl loadgen: extra %s: %v\n", spec, err)
+				os.Exit(1)
+			}
+			if len(eres.Violations) > 0 {
+				failed = true
+			}
+			base.Extra = append(base.Extra, loadgen.NewExtra(eres))
+		}
+		if err := loadgen.WriteBaseline(*out, base); err != nil {
 			fmt.Fprintf(os.Stderr, "napletctl loadgen: write %s: %v\n", *out, err)
 			os.Exit(1)
 		}

@@ -11,6 +11,7 @@
 //	napletctl -home <addr> control -id <naplet-id> -verb terminate
 //	napletctl -master <addr> fleet {nodes|wave|watch} [flags]
 //	napletctl metrics <metrics-addr>[,<metrics-addr>...]
+//	napletctl overload <metrics-addr>
 //	napletctl spans <metrics-addr> [naplet-id]
 //
 // The home address is the napletd that launched (or will launch) the
@@ -62,6 +63,14 @@ func main() {
 			os.Exit(2)
 		}
 		metrics(rest[0])
+		return
+	}
+	if cmd == "overload" {
+		if len(rest) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: napletctl overload <metrics-addr>")
+			os.Exit(2)
+		}
+		overloadCmd(rest[0])
 		return
 	}
 	if cmd == "spans" {
@@ -116,8 +125,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: napletctl -home <addr> {launch|status|results|control|locate|footprints} [flags]")
 	fmt.Fprintln(os.Stderr, "       napletctl -master <addr> fleet {nodes|wave|watch} [flags]")
 	fmt.Fprintln(os.Stderr, "       napletctl metrics <metrics-addr>[,<metrics-addr>...]")
+	fmt.Fprintln(os.Stderr, "       napletctl overload <metrics-addr>")
 	fmt.Fprintln(os.Stderr, "       napletctl spans <metrics-addr> [naplet-id]")
-	fmt.Fprintln(os.Stderr, "       napletctl loadgen [-profile short|mixed|man-sweep] [-fabric netsim-wan|tcp|both] [-loadgen.seed N] [-faults] [-check BENCH_loadgen.json] [-o file]")
+	fmt.Fprintln(os.Stderr, "       napletctl loadgen [-profile short|mixed|man-sweep|overload] [-fabric netsim-wan|tcp|both] [-loadgen.seed N] [-faults] [-check BENCH_loadgen.json] [-o file] [-extra profile:fabric]")
 	os.Exit(2)
 }
 

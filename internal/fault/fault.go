@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -49,12 +50,13 @@ const (
 	FaultDelay       = "delay"
 	FaultCrash       = "crash"
 	FaultPartition   = "partition"
+	FaultOverload    = "overload"
 )
 
 // faultKinds enumerates every trail/telemetry label, for registration.
 var faultKinds = []string{
 	FaultDropRequest, FaultDropReply, FaultDuplicate,
-	FaultDelay, FaultCrash, FaultPartition,
+	FaultDelay, FaultCrash, FaultPartition, FaultOverload,
 }
 
 // Errors surfaced to callers for injected faults. All are transient from
@@ -68,6 +70,11 @@ var (
 	ErrInjectedReplyDrop = errors.New("fault: injected reply drop (frame was delivered)")
 	ErrCrashed           = fmt.Errorf("fault: node crashed (%w)", transport.ErrRefused)
 	ErrInjectedPartition = fmt.Errorf("fault: injected partition (%w)", transport.ErrRefused)
+	// ErrInjectedOverload synthesizes an admission-gate shed: it wraps
+	// overload.ErrOverloaded so clients exercise exactly the retry,
+	// breaker and budget paths a real overloaded dock would trigger
+	// (and transport.Refused treats it as provably undelivered).
+	ErrInjectedOverload = fmt.Errorf("fault: injected overload shed (%w)", overload.ErrOverloaded)
 )
 
 // Probabilities configures the per-call fault rates. The draws are
@@ -84,6 +91,9 @@ type Probabilities struct {
 	Duplicate float64
 	// Delay injects a latency spike of Config.DelaySpike before delivery.
 	Delay float64
+	// Overload refuses the call with a synthesized ErrOverloaded before
+	// delivery, as an admission gate under pressure would.
+	Overload float64
 }
 
 // Op is a scripted schedule operation.
@@ -372,6 +382,10 @@ func (p Probabilities) decide(x float64) string {
 	if x < cut {
 		return FaultDelay
 	}
+	cut += p.Overload
+	if x < cut {
+		return FaultOverload
+	}
 	return ""
 }
 
@@ -485,6 +499,9 @@ func (n *faultNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Fra
 			return first, nil
 		}
 		return second, serr
+	case FaultOverload:
+		i.record(Event{Seq: calls, From: from, To: to, Frame: f.Kind, Fault: FaultOverload})
+		return wire.Frame{}, fmt.Errorf("%w: %s -> %s (%s)", ErrInjectedOverload, from, to, f.Kind)
 	case FaultDelay:
 		i.record(Event{Seq: calls, From: from, To: to, Frame: f.Kind, Fault: FaultDelay})
 		t := time.NewTimer(i.cfg.DelaySpike)

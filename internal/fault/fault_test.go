@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -270,5 +271,58 @@ func TestTrailBounded(t *testing.T) {
 	// Counters keep exact totals even after the trail overflows.
 	if got := r.inj.Counts()[FaultDropRequest]; got != 10 {
 		t.Fatalf("count = %d, want 10", got)
+	}
+}
+
+func TestOverloadFaultSynthesis(t *testing.T) {
+	// An injected overload shed carries the real overload sentinel, so
+	// every client-side defense (retry-with-backoff, liveness verdicts,
+	// Refused) treats it exactly like a genuine admission-gate shed.
+	r := newRig(t, Config{Seed: 7, P: Probabilities{Overload: 1}})
+	err := r.ping(t)
+	if !errors.Is(err, ErrInjectedOverload) {
+		t.Fatalf("err = %v, want ErrInjectedOverload", err)
+	}
+	if !errors.Is(err, overload.ErrOverloaded) {
+		t.Fatal("injected overload must wrap the overload sentinel")
+	}
+	if !overload.Liveness(err) {
+		t.Fatal("a synthesized shed is still proof of life")
+	}
+	if !transport.Refused(err) {
+		t.Fatal("a synthesized shed is a provable refusal")
+	}
+	if got := r.served.Load(); got != 0 {
+		t.Fatalf("shed request reached the handler %d times", got)
+	}
+	if got := r.inj.Counts()[FaultOverload]; got != 1 {
+		t.Fatalf("overload count = %d, want 1", got)
+	}
+	trail := r.inj.Trail()
+	if len(trail) != 1 || trail[0].Fault != FaultOverload {
+		t.Fatalf("trail = %+v", trail)
+	}
+}
+
+func TestOverloadFaultRate(t *testing.T) {
+	// At a partial rate the non-shed calls go through untouched and the
+	// trail reconciles with the observed error count.
+	r := newRig(t, Config{Seed: 11, P: Probabilities{Overload: 0.3}})
+	var shed int64
+	for i := 0; i < 200; i++ {
+		if err := r.ping(t); errors.Is(err, overload.ErrOverloaded) {
+			shed++
+		} else if err != nil {
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+	}
+	if shed == 0 || shed == 200 {
+		t.Fatalf("expected a mixture at rate 0.3, shed %d/200", shed)
+	}
+	if got := r.inj.Counts()[FaultOverload]; got != shed {
+		t.Fatalf("counts=%d observed=%d", got, shed)
+	}
+	if got := r.served.Load(); got != 200-shed {
+		t.Fatalf("served=%d, want %d", got, 200-shed)
 	}
 }

@@ -21,6 +21,55 @@ type Baseline struct {
 	Seed        int64              `json:"seed"`
 	PlanDigest  string             `json:"plan_digest"`
 	Values      []benchcheck.Value `json:"values"`
+	// Extra records additional profile/fabric runs that ride along with
+	// the canonical one — the overload-resilience scenario chiefly. The
+	// -check gate replays each with its recorded seed; their scalars are
+	// timing-dependent context, so the pass/fail signal is the replay's
+	// own Violations (goodput floor, control SLO, shed reconciliation).
+	Extra []ExtraRun `json:"extra,omitempty"`
+}
+
+// ExtraRun pins one additional run's replay coordinates and context
+// scalars.
+type ExtraRun struct {
+	Profile    string             `json:"profile"`
+	Fabric     string             `json:"fabric"`
+	Seed       int64              `json:"seed"`
+	PlanDigest string             `json:"plan_digest,omitempty"`
+	Values     []benchcheck.Value `json:"values,omitempty"`
+}
+
+// NewExtra flattens one extra run. Nothing is gated: extra profiles
+// judge themselves through Violations at replay time, and their scalars
+// ride along as trajectory context only.
+func NewExtra(res *Result) ExtraRun {
+	e := ExtraRun{
+		Profile:    res.Profile,
+		Fabric:     res.Fabric,
+		Seed:       res.Seed,
+		PlanDigest: res.PlanDigest,
+	}
+	for name, val := range res.Metrics {
+		e.Values = append(e.Values, benchcheck.Value{Name: name, Value: val})
+	}
+	sortValues(e.Values)
+	return e
+}
+
+// Check compares a replay of this extra run: the plan digest must hold
+// and the run must pass its own objectives.
+func (e ExtraRun) Check(res *Result) []string {
+	var failures []string
+	if res.PlanDigest != e.PlanDigest && e.PlanDigest != "" {
+		failures = append(failures, fmt.Sprintf(
+			"%s/%s: plan digest %s, baseline %s — the seeded schedule drifted",
+			e.Profile, e.Fabric, res.PlanDigest, e.PlanDigest))
+	}
+	failures = append(failures, benchcheck.CompareValues(e.Values, res.Metrics)...)
+	for _, v := range res.Violations {
+		failures = append(failures, fmt.Sprintf("%s/%s: %s", e.Profile, e.Fabric, v))
+	}
+	return failures
 }
 
 // NewBaseline flattens a run into a committable baseline. Byte counts and

@@ -117,6 +117,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Out == nil {
 		cfg.Out = io.Discard
 	}
+	if prof.Overload != nil {
+		return runOverload(ctx, cfg)
+	}
 	plan := BuildPlan(prof, cfg.Seed, cfg.Faults)
 	res := &Result{
 		Profile:    prof.Name,

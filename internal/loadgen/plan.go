@@ -45,6 +45,10 @@ type Profile struct {
 	Window int
 	// Timeout bounds the whole run.
 	Timeout time.Duration
+	// Overload switches the run to the overload-resilience scenario
+	// (see overload.go): a single gated dock driven past capacity
+	// instead of the testbed phases. All testbed fields are ignored.
+	Overload *OverloadSpec
 }
 
 // Profiles are the named presets: "short" is the seconds-fast CI gate,
@@ -71,6 +75,21 @@ var Profiles = map[string]Profile{
 		Chases: 4, ChaseHops: 3, MsgsPerChase: 16,
 		SweepVars: 32, SweepRounds: 1, SweepWave: 100,
 		Window: 96, Timeout: 15 * time.Minute,
+	},
+	"overload": {
+		Name: "overload", Devices: 1, Timeout: time.Minute,
+		Overload: &OverloadSpec{
+			Workers:         4,
+			Work:            5 * time.Millisecond,
+			Multiple:        2,
+			Phase:           1500 * time.Millisecond,
+			MaxInFlight:     4,
+			MaxQueue:        4,
+			MaxWait:         250 * time.Millisecond,
+			ControlInterval: 5 * time.Millisecond,
+			GoodputFloor:    0.7,
+			ControlP99:      100 * time.Millisecond,
+		},
 	},
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/manager"
 	"repro/internal/naplet"
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -148,6 +149,13 @@ type Config struct {
 	// Telemetry receives the messenger's counters and confirm-RTT
 	// histogram; nil uses a private registry.
 	Telemetry *telemetry.Registry
+	// Breakers, when non-nil, gates remote post/forward legs per
+	// destination server; an open breaker fails the leg locally.
+	Breakers *overload.Breakers
+	// RetryBudget, when non-nil, bounds send retries to a fraction of
+	// first attempts (see overload.RetryBudget). Nil leaves retries
+	// bounded only by SendRetries.
+	RetryBudget *overload.RetryBudget
 }
 
 // Messenger is the per-server post office. It is safe for concurrent use.
@@ -413,6 +421,7 @@ func (m *Messenger) sendRetry(ctx context.Context, server string, body PostBody)
 	delay := m.cfg.RetryDelay
 	var confirm ConfirmBody
 	var err error
+	m.cfg.RetryBudget.RecordAttempt()
 	for attempt := 0; ; attempt++ {
 		confirm, err = m.send(ctx, server, body)
 		if err == nil || attempt >= m.cfg.SendRetries {
@@ -422,7 +431,9 @@ func (m *Messenger) sendRetry(ctx context.Context, server string, body PostBody)
 		// failures are worth re-attempting. An error *reply* means the
 		// leg completed and the remote handler answered — retrying would
 		// re-ask a settled question (and amplify exponentially along a
-		// forwarding chain).
+		// forwarding chain). Overload and deadline sheds are the
+		// exception: they come back as typed sentinels, not *wire.Error,
+		// precisely so this loop treats them as transient.
 		var werr *wire.Error
 		if errors.As(err, &werr) {
 			return confirm, err
@@ -432,6 +443,9 @@ func (m *Messenger) sendRetry(ctx context.Context, server string, body PostBody)
 		}
 		if ctx.Err() != nil {
 			return confirm, err
+		}
+		if !m.cfg.RetryBudget.AllowRetry() {
+			return confirm, fmt.Errorf("%w: %w", overload.ErrRetryBudgetExhausted, err)
 		}
 		m.met.retries.Inc()
 		m.met.retryWait.ObserveDuration(delay)
@@ -452,11 +466,24 @@ func (m *Messenger) send(ctx context.Context, server string, body PostBody) (Con
 	if server == m.server {
 		return m.deliverOrForward(ctx, body)
 	}
+	if berr := m.cfg.Breakers.Allow(server); berr != nil {
+		return ConfirmBody{}, berr
+	}
 	f := wire.BinaryFrame(wire.KindPost, "", "", &body)
 	reply, err := m.node.Call(ctx, server, f)
 	if err != nil {
+		// Any reply composed by the peer — a protocol verdict or an
+		// overload shed — proves it alive; only transport-level silence
+		// feeds the breaker's failure count.
+		var werr *wire.Error
+		if errors.As(err, &werr) || overload.Liveness(err) {
+			m.cfg.Breakers.OnSuccess(server)
+		} else {
+			m.cfg.Breakers.OnFailure(server)
+		}
 		return ConfirmBody{}, err
 	}
+	m.cfg.Breakers.OnSuccess(server)
 	var confirm ConfirmBody
 	if err := confirm.Decode(reply.Payload); err != nil {
 		return ConfirmBody{}, err
@@ -473,7 +500,12 @@ func (m *Messenger) HandlePost(from string, f wire.Frame) (wire.Frame, error) {
 		return wire.Frame{}, err
 	}
 	m.noteCorrespondent(body.Msg.To, from)
-	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ForwardTimeout)
+	// The forwarding context inherits the poster's propagated budget (if
+	// the frame carries one), additionally bounded by ForwardTimeout —
+	// a chase has no business outliving the caller waiting on it.
+	parent, pcancel := f.BudgetContext(context.Background())
+	defer pcancel()
+	ctx, cancel := context.WithTimeout(parent, m.cfg.ForwardTimeout)
 	defer cancel()
 	confirm, err := m.deliverOrForward(ctx, body)
 	if err != nil {

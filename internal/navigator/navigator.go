@@ -39,6 +39,7 @@ import (
 	"repro/internal/id"
 	"repro/internal/manager"
 	"repro/internal/naplet"
+	"repro/internal/overload"
 	"repro/internal/registry"
 	"repro/internal/security"
 	"repro/internal/telemetry"
@@ -242,6 +243,14 @@ type Config struct {
 	// detector presumes dead fails fast with ErrPeerDead instead of
 	// burning the full backoff budget.
 	Health *health.Detector
+	// Breakers, when non-nil, gates dispatches per destination: an open
+	// breaker fails the dispatch locally with ErrPeerDead before any
+	// network attempt. Dispatch outcomes feed it.
+	Breakers *overload.Breakers
+	// RetryBudget, when non-nil, bounds dispatch retries to a fraction
+	// of first attempts (see overload.RetryBudget). Nil — the default —
+	// leaves retries bounded only by the Backoff policy.
+	RetryBudget *overload.RetryBudget
 }
 
 // Navigator is the per-server migration component.

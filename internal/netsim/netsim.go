@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -344,6 +345,11 @@ func (s *simNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 	f.From = s.addr
 	f.To = to
 	f.Seq = s.seq.Add(1)
+	if deadline, ok := ctx.Deadline(); ok {
+		// Propagate the caller's remaining budget in the Seq high bits,
+		// mirroring the TCP fabric (see wire.PackBudget).
+		f.Seq = wire.PackBudget(f.Seq, time.Until(deadline))
+	}
 
 	met := s.net.met.Load()
 	var start time.Time
@@ -375,9 +381,21 @@ func (s *simNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 		return wire.Frame{}, err
 	}
 
-	reply, herr := s.safeHandle(peer, f)
-	if herr != nil {
-		reply = transport.ErrorReply(f, herr)
+	var reply wire.Frame
+	if budget, ok := f.Budget(); ok && transit >= budget {
+		// The modeled transit alone consumed the caller's whole budget:
+		// the receiving server sheds the frame before dispatch, exactly
+		// like the TCP fabric's pre-dispatch deadline check.
+		met.DeadlineShed()
+		reply = transport.ErrorReply(f, fmt.Errorf(
+			"%w: %v transit exceeded %v budget", overload.ErrDeadlinePast, transit, budget))
+	} else {
+		f.ReceivedAt = time.Now()
+		var herr error
+		reply, herr = s.safeHandle(peer, f)
+		if herr != nil {
+			reply = transport.ErrorReply(f, herr)
+		}
 	}
 	reply.Seq = f.Seq
 	reply.From, reply.To = to, s.addr

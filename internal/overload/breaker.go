@@ -1,0 +1,329 @@
+package overload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/telemetry"
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Reasons a breaker opens, fixed for counter/telemetry reconciliation.
+const (
+	OpenReasonFailures     = "failures"      // consecutive failures hit the threshold
+	OpenReasonProbeFailure = "probe-failure" // a half-open probe failed
+	OpenReasonDetectorDead = "detector-dead" // the health detector declared the peer dead
+)
+
+// OpenReasons lists every open reason in a stable order.
+var OpenReasons = []string{OpenReasonFailures, OpenReasonProbeFailure, OpenReasonDetectorDead}
+
+// BreakerConfig parameterizes a per-peer breaker set. Zero values take
+// the defaults noted per field.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens a
+	// closed breaker (default 5).
+	FailureThreshold int
+	// OpenFor is how long an open breaker refuses calls before
+	// admitting half-open probes (default 2s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probes while half-open
+	// (default 1).
+	HalfOpenProbes int
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+	// Health ties the breaker into the liveness lattice: detector-dead
+	// opens the breaker without burning the detector's probe slots, a
+	// breaker opening feeds the detector one miss of suspicion, and a
+	// half-open probe success walks the detector back toward alive.
+	Health *health.Detector
+	// Telemetry, when set, exports open/reject counters and state
+	// gauges.
+	Telemetry *telemetry.Registry
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+type breaker struct {
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probes   int
+}
+
+// Breakers is a set of per-peer circuit breakers. All methods are safe
+// on a nil receiver (everything allowed, nothing recorded), so call
+// sites need no enablement checks.
+type Breakers struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	peers map[string]*breaker
+
+	opened   map[string]*atomic.Int64 // by reason
+	rejected atomic.Int64
+
+	metOpened map[string]*telemetry.Counter
+	metReject *telemetry.Counter
+}
+
+// NewBreakers builds a breaker set from cfg.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	b := &Breakers{
+		cfg:    cfg.withDefaults(),
+		peers:  make(map[string]*breaker),
+		opened: make(map[string]*atomic.Int64, len(OpenReasons)),
+	}
+	for _, r := range OpenReasons {
+		b.opened[r] = new(atomic.Int64)
+	}
+	if reg := b.cfg.Telemetry; reg != nil {
+		b.metOpened = make(map[string]*telemetry.Counter, len(OpenReasons))
+		for _, r := range OpenReasons {
+			b.metOpened[r] = reg.Counter("naplet_breaker_open_total",
+				"circuit breaker open transitions", "reason", r)
+		}
+		b.metReject = reg.Counter("naplet_breaker_rejected_total",
+			"calls refused locally by an open breaker")
+		for _, st := range []BreakerState{BreakerOpen, BreakerHalfOpen} {
+			st := st
+			reg.GaugeFunc("naplet_breaker_peers",
+				"peers per breaker state",
+				func() float64 { return float64(b.count(st)) },
+				"state", st.String())
+		}
+	}
+	return b
+}
+
+func (b *Breakers) count(st BreakerState) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, br := range b.peers {
+		if br.state == st {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *Breakers) get(peer string) *breaker {
+	br, ok := b.peers[peer]
+	if !ok {
+		br = &breaker{}
+		b.peers[peer] = br
+	}
+	return br
+}
+
+// recordOpen accounts an open transition. Caller must NOT hold b.mu
+// when feeding the detector, so this only touches counters.
+func (b *Breakers) recordOpen(reason string) {
+	b.opened[reason].Add(1)
+	if c := b.metOpened[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+// Allow asks whether a call to peer may proceed. It returns nil to
+// allow (closed, or a granted half-open probe) and an ErrBreakerOpen-
+// wrapped error to refuse. A dead verdict from the health detector
+// opens a closed breaker immediately — without consuming any of the
+// detector's own probe slots, since no network attempt happens.
+func (b *Breakers) Allow(peer string) error {
+	if b == nil {
+		return nil
+	}
+	// Read the detector before taking our lock: it has its own, and
+	// keeping the two disjoint means no ordering to get wrong.
+	dead := b.cfg.Health.Dead(peer)
+	now := b.cfg.Clock()
+
+	b.mu.Lock()
+	br := b.get(peer)
+	openedNow := ""
+	if br.state == BreakerClosed && dead {
+		br.state = BreakerOpen
+		br.openedAt = now
+		br.probes = 0
+		openedNow = OpenReasonDetectorDead
+		b.recordOpen(openedNow)
+	}
+	if br.state == BreakerOpen && now.Sub(br.openedAt) >= b.cfg.OpenFor {
+		br.state = BreakerHalfOpen
+		br.probes = 0
+	}
+	var err error
+	switch br.state {
+	case BreakerClosed:
+		// allowed
+	case BreakerHalfOpen:
+		if br.probes < b.cfg.HalfOpenProbes {
+			br.probes++
+		} else {
+			err = fmt.Errorf("%w: %s (half-open, probes in flight)", ErrBreakerOpen, peer)
+		}
+	default: // BreakerOpen
+		err = fmt.Errorf("%w: %s", ErrBreakerOpen, peer)
+	}
+	if err != nil {
+		b.rejected.Add(1)
+		if b.metReject != nil {
+			b.metReject.Inc()
+		}
+	}
+	b.mu.Unlock()
+
+	if openedNow != "" {
+		// The breaker opening is itself evidence against the peer.
+		b.cfg.Health.ReportFailure(peer)
+	}
+	return err
+}
+
+// OnSuccess records a successful call (or any reply proving the peer
+// alive — an overload shed counts). A half-open probe success closes
+// the breaker and walks the health detector back toward alive.
+func (b *Breakers) OnSuccess(peer string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	br := b.get(peer)
+	recovered := br.state != BreakerClosed
+	br.state = BreakerClosed
+	br.failures = 0
+	br.probes = 0
+	b.mu.Unlock()
+	if recovered {
+		b.cfg.Health.ReportSuccess(peer)
+	}
+}
+
+// OnFailure records a failed call attempt. Consecutive failures open a
+// closed breaker; a failed half-open probe re-opens immediately.
+func (b *Breakers) OnFailure(peer string) {
+	if b == nil {
+		return
+	}
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	br := b.get(peer)
+	opened := ""
+	switch br.state {
+	case BreakerClosed:
+		br.failures++
+		if br.failures >= b.cfg.FailureThreshold {
+			br.state = BreakerOpen
+			br.openedAt = now
+			br.probes = 0
+			opened = OpenReasonFailures
+			b.recordOpen(opened)
+		}
+	case BreakerHalfOpen:
+		br.state = BreakerOpen
+		br.openedAt = now
+		br.probes = 0
+		opened = OpenReasonProbeFailure
+		b.recordOpen(opened)
+	}
+	b.mu.Unlock()
+	if opened != "" {
+		b.cfg.Health.ReportFailure(peer)
+	}
+}
+
+// State reports peer's effective breaker state: an open breaker whose
+// OpenFor has elapsed reads as half-open even before the next Allow
+// performs the transition.
+func (b *Breakers) State(peer string) BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, ok := b.peers[peer]
+	if !ok {
+		return BreakerClosed
+	}
+	if br.state == BreakerOpen && now.Sub(br.openedAt) >= b.cfg.OpenFor {
+		return BreakerHalfOpen
+	}
+	return br.state
+}
+
+// BreakerStats is an accounting snapshot.
+type BreakerStats struct {
+	Opened   map[string]int64 // by reason
+	Rejected int64
+	Open     int // peers currently open
+	HalfOpen int
+}
+
+// TotalOpened sums open transitions across reasons.
+func (s BreakerStats) TotalOpened() int64 {
+	var n int64
+	for _, v := range s.Opened {
+		n += v
+	}
+	return n
+}
+
+// Stats snapshots the breaker set.
+func (b *Breakers) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{Opened: map[string]int64{}}
+	}
+	st := BreakerStats{Opened: make(map[string]int64, len(OpenReasons)), Rejected: b.rejected.Load()}
+	for _, r := range OpenReasons {
+		st.Opened[r] = b.opened[r].Load()
+	}
+	b.mu.Lock()
+	for _, br := range b.peers {
+		switch br.state {
+		case BreakerOpen:
+			st.Open++
+		case BreakerHalfOpen:
+			st.HalfOpen++
+		}
+	}
+	b.mu.Unlock()
+	return st
+}

@@ -1,0 +1,249 @@
+package overload
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+)
+
+func newTestBreakers(clk *fakeClock, hd *health.Detector) *Breakers {
+	return NewBreakers(BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          2 * time.Second,
+		HalfOpenProbes:   1,
+		Clock:            clk.Now,
+		Health:           hd,
+	})
+}
+
+func TestBreakersNil(t *testing.T) {
+	var b *Breakers
+	if err := b.Allow("x"); err != nil {
+		t.Fatal(err)
+	}
+	b.OnSuccess("x")
+	b.OnFailure("x")
+	if b.State("x") != BreakerClosed {
+		t.Fatal("nil breakers are always closed")
+	}
+	if b.Stats().TotalOpened() != 0 {
+		t.Fatal("nil breakers record nothing")
+	}
+}
+
+func TestBreakerOpensOnFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreakers(clk, nil)
+	for i := 0; i < 2; i++ {
+		b.OnFailure("peer")
+		if err := b.Allow("peer"); err != nil {
+			t.Fatalf("below threshold, attempt %d: %v", i, err)
+		}
+	}
+	b.OnFailure("peer") // third consecutive failure crosses the threshold
+	if st := b.State("peer"); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	err := b.Allow("peer")
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker must refuse: %v", err)
+	}
+	st := b.Stats()
+	if st.Opened[OpenReasonFailures] != 1 || st.Rejected != 1 || st.Open != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbeLimit(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreakers(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("peer")
+	}
+	clk.Advance(2 * time.Second)
+	if st := b.State("peer"); st != BreakerHalfOpen {
+		t.Fatalf("state after OpenFor = %v, want half-open", st)
+	}
+	// Exactly HalfOpenProbes (1) probes pass; the rest are refused.
+	if err := b.Allow("peer"); err != nil {
+		t.Fatalf("first half-open probe: %v", err)
+	}
+	if err := b.Allow("peer"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe must be refused: %v", err)
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreakers(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("peer")
+	}
+	clk.Advance(2 * time.Second)
+	if err := b.Allow("peer"); err != nil {
+		t.Fatal(err)
+	}
+	b.OnSuccess("peer")
+	if st := b.State("peer"); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+	// The failure count reset too: one new failure does not re-open.
+	b.OnFailure("peer")
+	if err := b.Allow("peer"); err != nil {
+		t.Fatalf("closed after recovery: %v", err)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreakers(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("peer")
+	}
+	clk.Advance(2 * time.Second)
+	if err := b.Allow("peer"); err != nil {
+		t.Fatal(err)
+	}
+	b.OnFailure("peer") // the probe itself failed
+	if st := b.State("peer"); st != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", st)
+	}
+	if got := b.Stats().Opened[OpenReasonProbeFailure]; got != 1 {
+		t.Fatalf("probe-failure opens = %d", got)
+	}
+	// The re-open restarts the OpenFor clock.
+	clk.Advance(time.Second)
+	if err := b.Allow("peer"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("still within re-opened window: %v", err)
+	}
+}
+
+// TestBreakerDetectorDeadOpensWithoutProbes is the detector→breaker half
+// of the liveness lattice: a dead verdict from the health detector opens
+// a closed breaker on the next Allow, and because the refusal is local,
+// none of the detector's own per-interval probe slots are consumed.
+func TestBreakerDetectorDeadOpensWithoutProbes(t *testing.T) {
+	clk := newFakeClock()
+	hd := health.New(health.Config{
+		SuspectThreshold: 2, DeadThreshold: 4,
+		ProbeInterval: 2 * time.Second, Clock: clk.Now,
+	})
+	b := newTestBreakers(clk, hd)
+	for i := 0; i < 4; i++ {
+		hd.ReportFailure("peer")
+	}
+	if !hd.Dead("peer") {
+		t.Fatal("detector should presume peer dead")
+	}
+	err := b.Allow("peer")
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("detector-dead must open the breaker: %v", err)
+	}
+	if got := b.Stats().Opened[OpenReasonDetectorDead]; got != 1 {
+		t.Fatalf("detector-dead opens = %d", got)
+	}
+	// The detector's probe slot is untouched: the first real prober this
+	// interval still gets its attempt.
+	if !hd.Allow("peer") {
+		t.Fatal("breaker refusal must not burn the detector's probe slot")
+	}
+	// And the slot then behaves normally: a second prober in the same
+	// interval is refused, proving the first Allow was the genuine one.
+	if hd.Allow("peer") {
+		t.Fatal("probe slot should be single-use per interval")
+	}
+}
+
+// TestBreakerRecoveryWalksDetectorBack is the breaker→detector half: a
+// half-open probe success closes the breaker and reports success to the
+// detector, walking the peer back toward alive.
+func TestBreakerRecoveryWalksDetectorBack(t *testing.T) {
+	clk := newFakeClock()
+	hd := health.New(health.Config{
+		SuspectThreshold: 2, DeadThreshold: 4,
+		ProbeInterval: 2 * time.Second, Clock: clk.Now,
+	})
+	b := newTestBreakers(clk, hd)
+	for i := 0; i < 4; i++ {
+		hd.ReportFailure("peer")
+	}
+	if err := b.Allow("peer"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("expected detector-dead open: %v", err)
+	}
+	clk.Advance(2 * time.Second)
+	// Half-open: the probe is granted even though the detector still says
+	// dead — the breaker's own recovery schedule takes precedence once
+	// it has opened.
+	if err := b.Allow("peer"); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	b.OnSuccess("peer")
+	if st := b.State("peer"); st != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", st)
+	}
+	if got := hd.State("peer"); got != health.StateAlive {
+		t.Fatalf("detector after recovery = %v, want alive", got)
+	}
+	if err := b.Allow("peer"); err != nil {
+		t.Fatalf("closed breaker with alive detector: %v", err)
+	}
+}
+
+// TestBreakerOpenFeedsSuspicion: a breaker opening on consecutive
+// failures is itself evidence, worth one miss of suspicion to the
+// detector.
+func TestBreakerOpenFeedsSuspicion(t *testing.T) {
+	clk := newFakeClock()
+	hd := health.New(health.Config{
+		SuspectThreshold: 2, DeadThreshold: 4,
+		ProbeInterval: 2 * time.Second, Clock: clk.Now,
+	})
+	b := newTestBreakers(clk, hd)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("peer")
+	}
+	// The open transition reported exactly one failure to the detector:
+	// one more miss reaches SuspectThreshold (2).
+	if got := hd.State("peer"); got != health.StateAlive {
+		t.Fatalf("one miss should leave peer alive, got %v", got)
+	}
+	hd.ReportFailure("peer")
+	if got := hd.State("peer"); got != health.StateSuspect {
+		t.Fatalf("second miss should make peer suspect, got %v", got)
+	}
+}
+
+// TestBreakerConcurrency exercises the breaker and detector together
+// from many goroutines; run under -race this is the lattice's data-race
+// proof.
+func TestBreakerConcurrency(t *testing.T) {
+	clk := newFakeClock()
+	hd := health.New(health.Config{Clock: clk.Now})
+	b := newTestBreakers(clk, hd)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			peer := []string{"a", "b"}[i%2]
+			for j := 0; j < 200; j++ {
+				if err := b.Allow(peer); err == nil {
+					if j%3 == 0 {
+						b.OnFailure(peer)
+					} else {
+						b.OnSuccess(peer)
+					}
+				}
+				if j%50 == 0 {
+					clk.Advance(time.Second)
+				}
+				_ = b.State(peer)
+				_ = b.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

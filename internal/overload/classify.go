@@ -1,0 +1,41 @@
+package overload
+
+import "repro/internal/wire"
+
+// Class is an admission priority class.
+type Class int
+
+const (
+	// ClassControl: heartbeats, directory registration and lookup,
+	// locator traffic, fleet events, management control. Control frames
+	// are small, latency-critical, and keep the rest of the system able
+	// to react to overload — they are admitted immediately, never
+	// queued behind bulk work.
+	ClassControl Class = iota
+
+	// ClassBulk: naplet migrations, code bundles, mail and service
+	// invocations — the work the gate bounds and sheds under pressure.
+	ClassBulk
+)
+
+func (c Class) String() string {
+	if c == ClassBulk {
+		return "bulk"
+	}
+	return "control"
+}
+
+// Classify maps a frame kind onto its admission class. Anything not
+// explicitly bulk is control: unknown kinds are rejected by the handler
+// switch anyway, and misclassifying a new control kind as bulk would
+// starve exactly the traffic that keeps an overloaded dock observable.
+func Classify(k wire.Kind) Class {
+	switch k {
+	case wire.KindLandingRequest, wire.KindNapletTransfer,
+		wire.KindCodeFetch, wire.KindCodeBundle,
+		wire.KindPost, wire.KindPostForward,
+		wire.KindServiceInvoke:
+		return ClassBulk
+	}
+	return ClassControl
+}

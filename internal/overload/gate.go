@@ -1,0 +1,353 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Shed reasons, fixed so counters, trail and telemetry all reconcile
+// over the same vocabulary.
+const (
+	// ReasonQueueFull: the bulk queue was at capacity on arrival.
+	ReasonQueueFull = "queue-full"
+	// ReasonQueueDelay: the CoDel controller is in dropping mode —
+	// queue delay has stayed above target for a full interval.
+	ReasonQueueDelay = "queue-delay"
+	// ReasonQueueTimeout: the request waited MaxWait without a slot.
+	ReasonQueueTimeout = "queue-timeout"
+	// ReasonBudgetExpired: the caller's propagated budget ran out while
+	// the request sat in the queue.
+	ReasonBudgetExpired = "budget-expired"
+	// ReasonCanceled: the caller's context was canceled in the queue.
+	ReasonCanceled = "canceled"
+)
+
+// ShedReasons lists every reason a Gate can emit, in a stable order.
+var ShedReasons = []string{
+	ReasonQueueFull, ReasonQueueDelay, ReasonQueueTimeout,
+	ReasonBudgetExpired, ReasonCanceled,
+}
+
+// GateConfig parameterizes an admission gate. Zero values take the
+// defaults noted per field.
+type GateConfig struct {
+	// MaxInFlight bounds concurrently executing bulk requests
+	// (default 64). Control traffic is never bounded by the gate.
+	MaxInFlight int
+	// MaxQueue bounds bulk requests waiting for a slot (default
+	// 2*MaxInFlight). Arrivals beyond it are shed immediately.
+	MaxQueue int
+	// Target is the acceptable standing queue delay (default 5ms).
+	Target time.Duration
+	// Interval is how long queue delay must stay above Target before
+	// the gate starts shedding new bulk arrivals (default 100ms) —
+	// CoDel's interval, applied at admission instead of at the head.
+	Interval time.Duration
+	// MaxWait caps how long a queued request may wait even when its
+	// caller sent no budget (default 1s).
+	MaxWait time.Duration
+	// Clock overrides time.Now for the delay controller (tests).
+	Clock func() time.Time
+	// MaxTrail bounds the shed-event trail (default 8192).
+	MaxTrail int
+	// Telemetry, when set, exports shed/admit counters and occupancy
+	// gauges.
+	Telemetry *telemetry.Registry
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.Target <= 0 {
+		c.Target = 5 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.MaxTrail <= 0 {
+		c.MaxTrail = 8192
+	}
+	return c
+}
+
+// ShedEvent is one shed request, recorded for post-mortem
+// reconciliation against counters and telemetry.
+type ShedEvent struct {
+	At     time.Time
+	Class  Class
+	Reason string
+}
+
+// Gate is a per-dock, two-class admission controller. Control-class
+// requests are admitted immediately; bulk requests run under a bounded
+// in-flight count, wait in a bounded queue, and are shed with a typed,
+// retryable error when the queue is full or its delay has stayed above
+// target for a full interval.
+type Gate struct {
+	cfg   GateConfig
+	slots chan struct{}
+
+	mu         sync.Mutex
+	queued     int
+	firstAbove time.Time // first sojourn observation at/above Target
+	dropping   bool
+	trail      []ShedEvent
+	trailDrop  int64
+
+	ctlArrivals  atomic.Int64
+	bulkArrivals atomic.Int64
+	ctlAdmitted  atomic.Int64
+	bulkAdmitted atomic.Int64
+	ctlInFlight  atomic.Int64
+	bulkInFlight atomic.Int64
+	shed         map[string]*atomic.Int64
+
+	metShed     map[string]*telemetry.Counter
+	metAdmitted map[Class]*telemetry.Counter
+}
+
+// NewGate builds a gate from cfg (zero values take defaults).
+func NewGate(cfg GateConfig) *Gate {
+	g := &Gate{cfg: cfg.withDefaults()}
+	g.slots = make(chan struct{}, g.cfg.MaxInFlight)
+	g.shed = make(map[string]*atomic.Int64, len(ShedReasons))
+	for _, r := range ShedReasons {
+		g.shed[r] = new(atomic.Int64)
+	}
+	if reg := g.cfg.Telemetry; reg != nil {
+		g.metShed = make(map[string]*telemetry.Counter, len(ShedReasons))
+		for _, r := range ShedReasons {
+			g.metShed[r] = reg.Counter("naplet_overload_shed_total",
+				"requests shed by the admission gate", "class", ClassBulk.String(), "reason", r)
+		}
+		g.metAdmitted = map[Class]*telemetry.Counter{
+			ClassControl: reg.Counter("naplet_overload_admitted_total",
+				"requests admitted by the gate", "class", ClassControl.String()),
+			ClassBulk: reg.Counter("naplet_overload_admitted_total",
+				"requests admitted by the gate", "class", ClassBulk.String()),
+		}
+		reg.GaugeFunc("naplet_overload_inflight",
+			"requests currently executing", func() float64 { return float64(g.bulkInFlight.Load()) },
+			"class", ClassBulk.String())
+		reg.GaugeFunc("naplet_overload_inflight",
+			"requests currently executing", func() float64 { return float64(g.ctlInFlight.Load()) },
+			"class", ClassControl.String())
+		reg.GaugeFunc("naplet_overload_queued",
+			"bulk requests waiting for an in-flight slot", func() float64 {
+				g.mu.Lock()
+				defer g.mu.Unlock()
+				return float64(g.queued)
+			})
+	}
+	return g
+}
+
+// Admit asks the gate for permission to run a request of the given
+// class. On admission it returns a release func the caller must invoke
+// when the request finishes (idempotent). On shed it returns a typed
+// error: ErrOverloaded for capacity sheds, ErrDeadlinePast when the
+// caller's budget (ctx deadline) expired in the queue. A nil gate
+// admits everything.
+func (g *Gate) Admit(ctx context.Context, class Class) (func(), error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	if class == ClassControl {
+		g.ctlArrivals.Add(1)
+		g.ctlAdmitted.Add(1)
+		g.ctlInFlight.Add(1)
+		if c := g.metAdmitted[ClassControl]; c != nil {
+			c.Inc()
+		}
+		var once sync.Once
+		return func() { once.Do(func() { g.ctlInFlight.Add(-1) }) }, nil
+	}
+
+	g.bulkArrivals.Add(1)
+	// Fast path: a free slot means the queue is empty — take it and
+	// clear any standing-delay history.
+	select {
+	case g.slots <- struct{}{}:
+		g.noteSojourn(0)
+		return g.admitBulk(), nil
+	default:
+	}
+
+	g.mu.Lock()
+	if g.queued >= g.cfg.MaxQueue {
+		g.mu.Unlock()
+		return nil, g.shedLocked(ReasonQueueFull, ErrOverloaded)
+	}
+	if g.dropping {
+		g.mu.Unlock()
+		return nil, g.shedLocked(ReasonQueueDelay, ErrOverloaded)
+	}
+	g.queued++
+	g.mu.Unlock()
+
+	enqueued := g.cfg.Clock()
+	timer := time.NewTimer(g.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.dequeue()
+		g.noteSojourn(g.cfg.Clock().Sub(enqueued))
+		return g.admitBulk(), nil
+	case <-ctx.Done():
+		g.dequeue()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, g.shedLocked(ReasonBudgetExpired, ErrDeadlinePast)
+		}
+		return nil, g.shedLocked(ReasonCanceled, ErrOverloaded)
+	case <-timer.C:
+		g.dequeue()
+		return nil, g.shedLocked(ReasonQueueTimeout, ErrOverloaded)
+	}
+}
+
+func (g *Gate) dequeue() {
+	g.mu.Lock()
+	g.queued--
+	g.mu.Unlock()
+}
+
+func (g *Gate) admitBulk() func() {
+	g.bulkAdmitted.Add(1)
+	g.bulkInFlight.Add(1)
+	if c := g.metAdmitted[ClassBulk]; c != nil {
+		c.Inc()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.bulkInFlight.Add(-1)
+			<-g.slots
+		})
+	}
+}
+
+// noteSojourn feeds one observed queue delay into the CoDel-style
+// controller: a single below-target observation resets it; staying at
+// or above target for a whole Interval flips the gate into dropping
+// mode until the queue drains enough for delay to recover.
+func (g *Gate) noteSojourn(d time.Duration) {
+	now := g.cfg.Clock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d < g.cfg.Target {
+		g.firstAbove = time.Time{}
+		g.dropping = false
+		return
+	}
+	if g.firstAbove.IsZero() {
+		g.firstAbove = now
+		return
+	}
+	if now.Sub(g.firstAbove) >= g.cfg.Interval {
+		g.dropping = true
+	}
+}
+
+// shedLocked accounts one shed (counter, trail, telemetry) and returns
+// the typed error. Named for the trail lock it takes, not a
+// precondition.
+func (g *Gate) shedLocked(reason string, sentinel error) error {
+	g.shed[reason].Add(1)
+	if c := g.metShed[reason]; c != nil {
+		c.Inc()
+	}
+	ev := ShedEvent{At: g.cfg.Clock(), Class: ClassBulk, Reason: reason}
+	g.mu.Lock()
+	if len(g.trail) >= g.cfg.MaxTrail {
+		g.trailDrop++
+	} else {
+		g.trail = append(g.trail, ev)
+	}
+	g.mu.Unlock()
+	return fmt.Errorf("%w: %s (in-flight %d)", sentinel, reason, g.cfg.MaxInFlight)
+}
+
+// GateStats is a point-in-time accounting snapshot. After the gate
+// quiesces (no queued or in-flight requests), arrivals == admitted +
+// total shed per class, exactly.
+type GateStats struct {
+	ControlArrivals int64
+	ControlAdmitted int64
+	BulkArrivals    int64
+	BulkAdmitted    int64
+	Shed            map[string]int64
+	InFlight        int64 // bulk currently executing
+	Queued          int
+	Dropping        bool
+}
+
+// TotalShed sums every shed reason.
+func (s GateStats) TotalShed() int64 {
+	var n int64
+	for _, v := range s.Shed {
+		n += v
+	}
+	return n
+}
+
+// Stats snapshots the gate's counters.
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{Shed: map[string]int64{}}
+	}
+	st := GateStats{
+		ControlArrivals: g.ctlArrivals.Load(),
+		ControlAdmitted: g.ctlAdmitted.Load(),
+		BulkArrivals:    g.bulkArrivals.Load(),
+		BulkAdmitted:    g.bulkAdmitted.Load(),
+		Shed:            make(map[string]int64, len(ShedReasons)),
+		InFlight:        g.bulkInFlight.Load(),
+	}
+	for _, r := range ShedReasons {
+		st.Shed[r] = g.shed[r].Load()
+	}
+	g.mu.Lock()
+	st.Queued = g.queued
+	st.Dropping = g.dropping
+	g.mu.Unlock()
+	return st
+}
+
+// Trail returns a copy of the recorded shed events; TrailDropped says
+// how many further events the bounded trail could not hold.
+func (g *Gate) Trail() []ShedEvent {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ShedEvent, len(g.trail))
+	copy(out, g.trail)
+	return out
+}
+
+// TrailDropped reports shed events lost to the trail cap.
+func (g *Gate) TrailDropped() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.trailDrop
+}

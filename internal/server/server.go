@@ -35,6 +35,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/naplet"
 	"repro/internal/navigator"
+	"repro/internal/overload"
 	"repro/internal/registry"
 	"repro/internal/resource"
 	"repro/internal/security"
@@ -109,6 +110,13 @@ type Config struct {
 	// path; supply one to control thresholds or the probe clock. Nil
 	// builds a default detector on the server clock.
 	Health *health.Detector
+	// Overload, when non-nil, switches on the overload-resilience stack:
+	// a two-class admission gate fronting the frame handler (control
+	// traffic is never queued behind bulk migrations and mail), per-peer
+	// circuit breakers wired into the health detector, and retry budgets
+	// for the navigator's and messenger's retry loops. Nil disables the
+	// whole stack — every request is admitted, every retry allowed.
+	Overload *overload.Options
 	// Dock, when non-nil, persists resident naplets, held mail and home
 	// registrations across restarts: the server snapshots to it at every
 	// state-changing point and restores from it on construction.
@@ -135,6 +143,8 @@ type Server struct {
 	telem     *telemetry.Registry
 	tracer    *telemetry.HopTracer
 	hd        *health.Detector
+	gate      *overload.Gate
+	brk       *overload.Breakers
 	failovers *telemetry.Counter
 
 	mintMu sync.Mutex
@@ -185,6 +195,45 @@ func New(cfg Config) (*Server, error) {
 		hd = health.New(health.Config{Clock: clock, Telemetry: cfg.Telemetry})
 	}
 
+	// The overload stack is all-or-nothing: one Options bundle builds the
+	// admission gate, the per-peer breakers (sharing the health detector,
+	// so breaker state and failure suspicion reinforce each other), and a
+	// retry budget per retrying component.
+	var gate *overload.Gate
+	var brk *overload.Breakers
+	var navBudget, msgrBudget *overload.RetryBudget
+	if o := cfg.Overload; o != nil {
+		gate = overload.NewGate(overload.GateConfig{
+			MaxInFlight: o.MaxInFlight,
+			MaxQueue:    o.MaxQueue,
+			Target:      o.QueueTarget,
+			Interval:    o.QueueInterval,
+			MaxWait:     o.MaxWait,
+			Clock:       clock,
+			Telemetry:   cfg.Telemetry,
+		})
+		brk = overload.NewBreakers(overload.BreakerConfig{
+			FailureThreshold: o.BreakerFailures,
+			OpenFor:          o.BreakerOpenFor,
+			HalfOpenProbes:   o.BreakerProbes,
+			Clock:            clock,
+			Health:           hd,
+			Telemetry:        cfg.Telemetry,
+		})
+		navBudget = overload.NewRetryBudget(overload.RetryBudgetConfig{
+			Ratio:     o.RetryRatio,
+			Burst:     o.RetryBurst,
+			Name:      "navigator",
+			Telemetry: cfg.Telemetry,
+		})
+		msgrBudget = overload.NewRetryBudget(overload.RetryBudgetConfig{
+			Ratio:     o.RetryRatio,
+			Burst:     o.RetryBurst,
+			Name:      "messenger",
+			Telemetry: cfg.Telemetry,
+		})
+	}
+
 	s := &Server{
 		cfg:         cfg,
 		clock:       clock,
@@ -193,6 +242,8 @@ func New(cfg Config) (*Server, error) {
 		telem:       cfg.Telemetry,
 		tracer:      cfg.Tracer,
 		hd:          hd,
+		gate:        gate,
+		brk:         brk,
 		minted:      make(map[string]time.Time),
 		dockStore:   cfg.Dock,
 		dockEntries: make(map[string]*dock.Resident),
@@ -246,6 +297,8 @@ func New(cfg Config) (*Server, error) {
 	}, node, s.mgr, clock)
 	msgrCfg := cfg.Messenger
 	msgrCfg.Telemetry = s.telem
+	msgrCfg.Breakers = brk
+	msgrCfg.RetryBudget = msgrBudget
 	s.msgr = messenger.New(msgrCfg, s.name, node, s.loc, s.mgr, clock)
 	s.nav = navigator.New(navigator.Config{
 		CodeDelivery: cfg.CodeDelivery,
@@ -254,6 +307,8 @@ func New(cfg Config) (*Server, error) {
 		Telemetry:    s.telem,
 		Tracer:       s.tracer,
 		Health:       hd,
+		Breakers:     brk,
+		RetryBudget:  navBudget,
 	}, s.name, node, s.sec, s.mgr, s.reg, s.cache, clock)
 
 	s.nav.SetLandFunc(s.land)
@@ -334,6 +389,14 @@ func (s *Server) Tracer() *telemetry.HopTracer { return s.tracer }
 
 // Health returns the server's peer failure detector.
 func (s *Server) Health() *health.Detector { return s.hd }
+
+// OverloadGate returns the server's admission gate (nil when Config.Overload
+// was nil).
+func (s *Server) OverloadGate() *overload.Gate { return s.gate }
+
+// Breakers returns the server's per-peer circuit breakers (nil when
+// Config.Overload was nil).
+func (s *Server) Breakers() *overload.Breakers { return s.brk }
 
 // Draining reports whether the server has stopped accepting new work
 // (Drain was called). A health endpoint should turn not-ready on this.
@@ -470,6 +533,18 @@ func (s *Server) handle(from string, f wire.Frame) (wire.Frame, error) {
 	// can resolve port 0 into the server's name); block early frames until
 	// construction completes.
 	<-s.ready
+	// Admission runs before any component sees the frame: control traffic
+	// passes straight through, bulk (migrations, mail, code transfer)
+	// queues behind a bounded in-flight window and is shed — with a typed,
+	// retryable error — when the queue backs up past the delay target or
+	// the caller's propagated budget runs out while waiting.
+	ctx, cancel := f.BudgetContext(context.Background())
+	release, err := s.gate.Admit(ctx, overload.Classify(f.Kind))
+	cancel()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	defer release()
 	switch f.Kind {
 	case wire.KindLandingRequest:
 		return s.nav.HandleLandingRequest(from, f)

@@ -17,11 +17,13 @@ import (
 type Metrics struct {
 	reg *telemetry.Registry
 
-	framesSent *telemetry.Counter
-	framesRecv *telemetry.Counter
-	bytesSent  *telemetry.Counter
-	bytesRecv  *telemetry.Counter
-	callErrors *telemetry.Counter
+	framesSent   *telemetry.Counter
+	framesRecv   *telemetry.Counter
+	bytesSent    *telemetry.Counter
+	bytesRecv    *telemetry.Counter
+	callErrors   *telemetry.Counter
+	lateReplies  *telemetry.Counter
+	deadlineShed *telemetry.Counter
 
 	// latency caches per-kind call histograms so the hot path resolves a
 	// kind with one lock-free map read instead of label formatting.
@@ -38,6 +40,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		bytesSent:  reg.Counter("naplet_transport_bytes_sent_total", "encoded bytes written to the fabric"),
 		bytesRecv:  reg.Counter("naplet_transport_bytes_recv_total", "encoded bytes read from the fabric"),
 		callErrors: reg.Counter("naplet_transport_call_errors_total", "calls that failed at the transport level"),
+		lateReplies: reg.Counter("naplet_transport_late_replies_total",
+			"replies that arrived after their caller timed out or canceled"),
+		deadlineShed: reg.Counter("naplet_transport_deadline_shed_total",
+			"inbound requests shed because the propagated budget had expired before dispatch"),
 	}
 	reg.CounterFunc("naplet_wire_encbuf_gets_total", "encode-buffer pool acquisitions", func() float64 {
 		gets, _ := wire.PoolCounters()
@@ -74,6 +80,24 @@ func (m *Metrics) CallError() {
 		return
 	}
 	m.callErrors.Inc()
+}
+
+// LateReply counts a correlated reply that arrived after its caller
+// withdrew (timeout or cancellation raced the reply).
+func (m *Metrics) LateReply() {
+	if m == nil {
+		return
+	}
+	m.lateReplies.Inc()
+}
+
+// DeadlineShed counts an inbound request dropped before dispatch
+// because its propagated budget had already expired.
+func (m *Metrics) DeadlineShed() {
+	if m == nil {
+		return
+	}
+	m.deadlineShed.Inc()
 }
 
 // ObserveCall records one request/reply round trip for the frame kind.

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -74,11 +75,15 @@ var ErrRefused = errors.New("transport: undelivered")
 
 // Refused reports whether err proves the request never reached the
 // peer's handler. Absence of ErrRefused is not proof of delivery: it
-// means the outcome is unknown.
+// means the outcome is unknown. Overload and deadline sheds count:
+// both are raised before the request is dispatched to any component,
+// so a shed request provably had no remote side effect.
 func Refused(err error) bool {
 	return errors.Is(err, ErrRefused) ||
 		errors.Is(err, ErrNodeClosed) ||
-		errors.Is(err, ErrUnknownPeer)
+		errors.Is(err, ErrUnknownPeer) ||
+		errors.Is(err, overload.ErrOverloaded) ||
+		errors.Is(err, overload.ErrDeadlinePast)
 }
 
 // TCPFabric implements Fabric over real TCP sockets. Addresses are
@@ -246,9 +251,15 @@ func (mc *muxConn) readLoop() {
 		mc.mu.Unlock()
 		if ch != nil {
 			ch <- callResult{frame: reply}
+		} else {
+			// A reply nobody waits for: its caller timed out or was
+			// canceled and withdrew the correlation entry. The frame is
+			// dropped — the connection stays healthy for the other
+			// in-flight calls — but the drop is counted, because a
+			// steady late-reply rate means callers' budgets are tighter
+			// than the peer's service time.
+			mc.node.fabric.metrics().LateReply()
 		}
-		// Replies nobody waits for (caller timed out) are dropped; the
-		// connection stays healthy for the other in-flight calls.
 	}
 }
 
@@ -290,12 +301,39 @@ func (mc *muxConn) roundTrip(ctx context.Context, f wire.Frame) (wire.Frame, err
 	mc.mu.Unlock()
 
 	mc.writeMu.Lock()
-	if deadline, ok := ctx.Deadline(); ok {
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
 		mc.conn.SetWriteDeadline(deadline)
 	} else {
 		mc.conn.SetWriteDeadline(time.Time{})
 	}
+	// A cancelable but deadline-free context needs its own escape hatch:
+	// with no write deadline armed, a stalled peer (full socket buffers,
+	// reader wedged) would block WriteFrame forever and cancellation
+	// could never interrupt it. Watch ctx.Done for the duration of the
+	// write and yank the deadline into the past to abort it. The
+	// done-handshake makes the watcher quiesce before the deadline is
+	// reset — still under writeMu — so a poisoned deadline can never
+	// leak into the next caller's write.
+	var stop, watcherDone chan struct{}
+	if !hasDeadline && ctx.Done() != nil {
+		stop = make(chan struct{})
+		watcherDone = make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				mc.conn.SetWriteDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+	}
 	err := wire.WriteFrame(mc.conn, f)
+	if stop != nil {
+		close(stop)
+		<-watcherDone
+		mc.conn.SetWriteDeadline(time.Time{})
+	}
 	mc.writeMu.Unlock()
 	if err != nil {
 		mc.fail(fmt.Errorf("transport: write to %s: %w", mc.to, err))
@@ -389,6 +427,7 @@ func (n *tcpNode) serveConn(conn net.Conn) {
 			return // EOF or broken peer
 		}
 		*bufp = grown
+		req.ReceivedAt = time.Now()
 		met := n.fabric.metrics()
 		met.Recv(&req)
 		sem <- struct{}{}
@@ -399,9 +438,20 @@ func (n *tcpNode) serveConn(conn net.Conn) {
 				<-sem
 				handled.Done()
 			}()
-			reply, err := n.safeHandle(req)
-			if err != nil {
-				reply = ErrorReply(req, err)
+			var reply wire.Frame
+			if req.BudgetExpired(time.Now()) {
+				// The caller's propagated budget ran out while the frame
+				// sat in the socket or the pipeline semaphore: nobody is
+				// waiting for this answer, so shed it instead of burning
+				// handler time on it.
+				met.DeadlineShed()
+				budget, _ := req.Budget()
+				reply = ErrorReply(req, fmt.Errorf(
+					"%w: %v budget exhausted before dispatch", overload.ErrDeadlinePast, budget))
+			} else if r, herr := n.safeHandle(req); herr != nil {
+				reply = ErrorReply(req, herr)
+			} else {
+				reply = r
 			}
 			reply.Seq = req.Seq
 			writeMu.Lock()
@@ -435,9 +485,16 @@ var fallbackErrorPayload = func() []byte {
 }()
 
 // ErrorReply encodes a handler error into a reply frame so the caller sees
-// it as a typed wire.Error. Both fabrics (TCP and netsim) use it.
+// it as a typed wire.Error. Both fabrics (TCP and netsim) use it. Overload
+// semantics survive the hop: errors wrapping overload.ErrOverloaded or
+// overload.ErrDeadlinePast get their dedicated codes, which IsErrorReply
+// re-hydrates into the same sentinels on the caller's side.
 func ErrorReply(req wire.Frame, err error) wire.Frame {
-	payload, merr := wire.Marshal(&wire.Error{Code: "handler", Message: err.Error()})
+	code := overload.CodeFor(err)
+	if code == "" {
+		code = "handler"
+	}
+	payload, merr := wire.Marshal(&wire.Error{Code: code, Message: err.Error()})
 	if merr != nil {
 		payload = fallbackErrorPayload
 	}
@@ -459,6 +516,13 @@ func IsErrorReply(req wire.Kind, reply wire.Frame) error {
 	if err := reply.Body(&werr); err != nil {
 		return fmt.Errorf("transport: undecodable error reply: %w", err)
 	}
+	if sentinel := overload.FromCode(werr.Code); sentinel != nil {
+		// Surface the typed sentinel (not the bare *wire.Error) so
+		// errors.Is(err, overload.ErrOverloaded) works across the hop
+		// and retry loops treat the shed as transient, not as an
+		// authoritative protocol verdict.
+		return fmt.Errorf("%w: %s", sentinel, werr.Message)
+	}
 	return &werr
 }
 
@@ -469,6 +533,12 @@ func (n *tcpNode) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame
 	f.From = n.addr
 	f.To = to
 	f.Seq = n.seq.Add(1)
+	if deadline, ok := ctx.Deadline(); ok {
+		// Propagate the caller's remaining budget in the Seq high bits
+		// (see wire.PackBudget) so the server can shed work whose
+		// caller will have given up by the time an answer could arrive.
+		f.Seq = wire.PackBudget(f.Seq, time.Until(deadline))
+	}
 
 	met := n.fabric.metrics()
 	start := time.Time{}

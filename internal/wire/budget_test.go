@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures in testdata/")
+
+// checkGolden compares got against the hex fixture, rewriting it under
+// -update. Fixtures pin the wire layout: a mismatch means the codec
+// layout drifted and needs a version bump plus regenerated fixtures, not
+// a silent fixture refresh.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(hex.EncodeToString(got)+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run go test -update): %v", err)
+	}
+	want, err := hex.DecodeString(string(bytes.TrimSpace(raw)))
+	if err != nil {
+		t.Fatalf("corrupt fixture %s: %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: encoding drifted from the pinned layout.\n got %s\nwant %s\n"+
+			"If the change is intentional, bump the codec version and regenerate with -update.",
+			name, hex.EncodeToString(got), hex.EncodeToString(want))
+	}
+}
+
+// goldenFrame is the fixture frame; only Seq differs between the two
+// golden encodings.
+func goldenFrame(seq uint64) Frame {
+	return Frame{
+		Kind:    KindPost,
+		From:    "dock-a:1",
+		To:      "dock-b:2",
+		Seq:     seq,
+		Payload: []byte("golden payload"),
+	}
+}
+
+// TestFrameGoldenBytes pins the budget-less encoding: a frame that
+// carries no budget must stay bit-for-bit identical to the previous
+// frame version, so decoders that predate budget packing read it
+// unchanged.
+func TestFrameGoldenBytes(t *testing.T) {
+	got, err := Encode(goldenFrame(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "frame_v1.hex", got)
+}
+
+// TestFrameBudgetGoldenBytes pins the budget-bearing encoding: the
+// packed Seq is still an ordinary uvarint (it merely grows to the full
+// 10-byte form), so a legacy decoder parses the frame successfully and
+// sees only an opaque sequence number.
+func TestFrameBudgetGoldenBytes(t *testing.T) {
+	f := goldenFrame(PackBudget(42, 1500*time.Millisecond))
+	got, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "frame_v1_budget.hex", got)
+
+	// The legacy-compat proof: both fixtures decode with the same
+	// (unchanged) Decode, and differ only in the Seq value.
+	dec, _, err := Decode(got)
+	if err != nil {
+		t.Fatalf("budget frame must decode with the unversioned codec: %v", err)
+	}
+	if dec.BareSeq() != 42 {
+		t.Fatalf("BareSeq = %d, want 42", dec.BareSeq())
+	}
+	if d, ok := dec.Budget(); !ok || d != 1500*time.Millisecond {
+		t.Fatalf("Budget = (%v, %v), want (1.5s, true)", d, ok)
+	}
+
+	plain, err := Encode(goldenFrame(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, plain) {
+		t.Fatal("budget frame should differ from plain frame in Seq bytes")
+	}
+	// Beyond the body-length prefix and Seq, the layouts are identical:
+	// decode both and compare every field but Seq.
+	pdec, _, err := Decode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pdec.Kind != dec.Kind || pdec.From != dec.From || pdec.To != dec.To || !bytes.Equal(pdec.Payload, dec.Payload) {
+		t.Fatalf("non-Seq fields drifted: plain %+v budget %+v", pdec, dec)
+	}
+}
+
+func TestPackBudget(t *testing.T) {
+	cases := []struct {
+		name      string
+		seq       uint64
+		remaining time.Duration
+		want      time.Duration
+		wantOK    bool
+	}{
+		{"zero remaining", 7, 0, 0, false},
+		{"negative remaining", 7, -time.Second, 0, false},
+		{"exact ms", 7, 250 * time.Millisecond, 250 * time.Millisecond, true},
+		{"rounds up", 7, 100 * time.Microsecond, time.Millisecond, true},
+		{"saturates", 7, 48 * time.Hour, MaxBudget, true},
+		{"max budget exact", 7, MaxBudget, MaxBudget, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := Frame{Seq: PackBudget(tc.seq, tc.remaining)}
+			got, ok := f.Budget()
+			if ok != tc.wantOK || got != tc.want {
+				t.Fatalf("Budget = (%v, %v), want (%v, %v)", got, ok, tc.want, tc.wantOK)
+			}
+			if f.BareSeq() != tc.seq {
+				t.Fatalf("BareSeq = %d, want %d", f.BareSeq(), tc.seq)
+			}
+			if !tc.wantOK && f.Seq != tc.seq {
+				t.Fatalf("no-budget pack must leave seq untouched: %d", f.Seq)
+			}
+		})
+	}
+}
+
+func TestPackBudgetPreservesLowSeqBits(t *testing.T) {
+	// A sequence number overflowing the 41-bit field keeps its low bits;
+	// correlation still works because the reply echoes the packed value.
+	seq := uint64(1)<<seqBits + 99
+	f := Frame{Seq: PackBudget(seq, time.Second)}
+	if f.BareSeq() != 99 {
+		t.Fatalf("BareSeq = %d, want 99", f.BareSeq())
+	}
+}
+
+func TestBudgetExpired(t *testing.T) {
+	now := time.Now()
+	f := Frame{Seq: PackBudget(1, 100*time.Millisecond)}
+	if f.BudgetExpired(now) {
+		t.Fatal("no ReceivedAt stamp: must never report expired")
+	}
+	f.ReceivedAt = now
+	if f.BudgetExpired(now.Add(50 * time.Millisecond)) {
+		t.Fatal("half the budget left: not expired")
+	}
+	if !f.BudgetExpired(now.Add(100 * time.Millisecond)) {
+		t.Fatal("budget fully elapsed: expired")
+	}
+	plain := Frame{Seq: 1, ReceivedAt: now}
+	if plain.BudgetExpired(now.Add(time.Hour)) {
+		t.Fatal("frame without budget never expires")
+	}
+}
+
+func TestBudgetContext(t *testing.T) {
+	now := time.Now()
+	f := Frame{Seq: PackBudget(1, 5*time.Second), ReceivedAt: now}
+	ctx, cancel := f.BudgetContext(context.Background())
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("budget frame must yield a deadline context")
+	}
+	if want := now.Add(5 * time.Second); !dl.Equal(want) {
+		t.Fatalf("deadline = %v, want %v", dl, want)
+	}
+
+	plain := Frame{Seq: 1}
+	pctx, pcancel := plain.BudgetContext(context.Background())
+	if _, ok := pctx.Deadline(); ok {
+		t.Fatal("budget-less frame must not invent a deadline")
+	}
+	pcancel()
+	if pctx.Err() == nil {
+		t.Fatal("cancel must cancel the derived context")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind identifies the protocol operation a frame carries.
@@ -89,10 +90,18 @@ type Frame struct {
 	Kind Kind
 	// From and To are server names (transport addresses).
 	From, To string
-	// Seq correlates requests and replies on a connection.
+	// Seq correlates requests and replies on a connection. Its high
+	// bits may carry the caller's remaining time budget — see
+	// PackBudget; legacy decoders read the packed value as an opaque
+	// correlation number, unchanged.
 	Seq uint64
 	// Payload is the gob-encoded operation body.
 	Payload []byte
+	// ReceivedAt is stamped by the receiving fabric when the frame
+	// comes off the wire; it is not encoded. BudgetContext measures
+	// the propagated budget from it, so time spent queued before
+	// dispatch counts against the caller's deadline.
+	ReceivedAt time.Time
 }
 
 // Errors reported by the codec.
